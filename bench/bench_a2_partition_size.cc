@@ -1,0 +1,62 @@
+// A2 — Ablation: hybrid partition (workspace) size sensitivity (PVLDB'11
+// §6): sweeping the initial-partition size of HCS between N/4 and N/256.
+//
+// Expected shape: smaller partitions raise per-query fan-out costs early
+// but each migration is cheaper; the optimum is flat in the middle —
+// the knob models the external-sort workspace of adaptive merging.
+#include <iostream>
+
+#include "bench_common.h"
+#include "exec/access_path.h"
+#include "workload/data_generator.h"
+#include "workload/metrics.h"
+#include "workload/query_generator.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+using namespace aidx;
+
+int main() {
+  bench::PrintHeader("A2 ablation: hybrid partition size",
+                     "PVLDB'11 workspace-size discussion (tutorial 'Hybrid' section)");
+  const std::size_t n = bench::ColumnSize();
+  const std::size_t q = bench::NumQueries();
+  const auto domain = static_cast<std::int64_t>(n);
+  const auto data = GenerateData({.n = n, .domain = domain, .seed = 7});
+  const auto queries = GenerateQueries({.num_queries = q,
+                                        .domain = domain,
+                                        .selectivity = 0.001,
+                                        .seed = 13});
+
+  const RunResult scan = RunWorkload(data, StrategyConfig::FullScan(), queries, "random");
+  const RunResult sort = RunWorkload(data, StrategyConfig::FullSort(), queries, "random");
+  const double scan_cost = scan.tail_mean(100);
+  const double reference = sort.tail_mean(100);
+
+  std::cout << "strategy HCS, N=" << n << ", Q=" << q << "\n\n";
+  TablePrinter table({"partitions", "partition size", "first query", "xscan",
+                      "converged@", "total"});
+  for (const std::size_t parts : {std::size_t{4}, std::size_t{16}, std::size_t{64},
+                                  std::size_t{256}}) {
+    const std::size_t psize = n / parts;
+    const RunResult run = RunWorkload(
+        data, StrategyConfig::Hybrid(OrganizeMode::kCrack, OrganizeMode::kSort, psize),
+        queries, "random");
+    if (run.count_checksum != scan.count_checksum) {
+      std::cerr << "CHECKSUM MISMATCH at " << parts << " partitions\n";
+      return 1;
+    }
+    const BenchmarkMetrics m = ComputeMetrics(run, scan_cost, reference,
+                                            {.convergence_factor = 8.0});
+    char overhead[32];
+    std::snprintf(overhead, sizeof(overhead), "%.1f", m.first_query_overhead);
+    table.AddRow({std::to_string(parts), std::to_string(psize),
+                  FormatSeconds(m.first_query_seconds), overhead,
+                  m.queries_to_convergence < 0
+                      ? "never"
+                      : std::to_string(m.queries_to_convergence + 1),
+                  FormatSeconds(m.total_seconds)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

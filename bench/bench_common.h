@@ -1,0 +1,45 @@
+// Shared plumbing for the experiment binaries.
+//
+// Every binary runs with no arguments using paper-scale defaults trimmed to
+// finish in tens of seconds; the environment variables AIDX_N (column
+// size), AIDX_Q (queries per run), and AIDX_CSV_DIR (CSV output directory,
+// empty to disable) override them for full-scale runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace aidx::bench {
+
+inline std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(raw, nullptr, 10));
+}
+
+/// Column size for the experiments (default 2^21 = 2,097,152 values).
+inline std::size_t ColumnSize() { return EnvSize("AIDX_N", std::size_t{1} << 21); }
+
+/// Queries per run (default 2000).
+inline std::size_t NumQueries() { return EnvSize("AIDX_Q", 2000); }
+
+/// Where CSV series land; "" disables CSV output.
+inline std::string CsvDir() {
+  const char* raw = std::getenv("AIDX_CSV_DIR");
+  return raw == nullptr ? std::string(".") : std::string(raw);
+}
+
+inline std::string CsvPath(const std::string& name) {
+  const std::string dir = CsvDir();
+  if (dir.empty()) return "";
+  return dir + "/" + name;
+}
+
+inline void PrintHeader(const char* experiment, const char* regenerates) {
+  std::cout << "=== " << experiment << " ===\n"
+            << "regenerates: " << regenerates << "\n";
+}
+
+}  // namespace aidx::bench

@@ -1,0 +1,164 @@
+// E10 — Micro-benchmarks backing the cost narrative (google-benchmark):
+// the primitive operations whose relative costs explain every figure —
+// scan, sort, binary search, crack-in-two/three, B+ tree ops, AVL ops.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/crack_ops.h"
+#include "core/cracker_column.h"
+#include "index/avl_tree.h"
+#include "index/btree.h"
+#include "index/scan.h"
+#include "index/sorted_index.h"
+#include "util/rng.h"
+#include "workload/data_generator.h"
+
+namespace aidx {
+namespace {
+
+std::vector<std::int64_t> Data(std::size_t n) {
+  return GenerateData({.n = n, .domain = static_cast<std::int64_t>(n), .seed = 7});
+}
+
+void BM_ScanCount(benchmark::State& state) {
+  const auto data = Data(static_cast<std::size_t>(state.range(0)));
+  const auto pred = RangePredicate<std::int64_t>::Between(100, 100 + state.range(0) / 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScanCount<std::int64_t>(data, pred));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScanCount)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_FullSortBuild(benchmark::State& state) {
+  const auto data = Data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    FullSortIndex<std::int64_t> index(data);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullSortBuild)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_BinarySearchQuery(benchmark::State& state) {
+  const auto data = Data(1 << 21);
+  const FullSortIndex<std::int64_t> index(data);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto lo = static_cast<std::int64_t>(rng.NextBounded(1 << 21));
+    benchmark::DoNotOptimize(
+        index.CountRange(RangePredicate<std::int64_t>::Between(lo, lo + 2048)));
+  }
+}
+BENCHMARK(BM_BinarySearchQuery);
+
+void BM_CrackInTwo(benchmark::State& state) {
+  const auto base = Data(static_cast<std::size_t>(state.range(0)));
+  const Cut<std::int64_t> cut{state.range(0) / 2, CutKind::kLess};
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto copy = base;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(CrackInTwo<std::int64_t>(copy, {}, cut));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CrackInTwo)->Arg(1 << 18)->Arg(1 << 21)->Iterations(30);
+
+void BM_CrackInThree(benchmark::State& state) {
+  const auto base = Data(static_cast<std::size_t>(state.range(0)));
+  const Cut<std::int64_t> lo{state.range(0) / 3, CutKind::kLess};
+  const Cut<std::int64_t> hi{2 * state.range(0) / 3, CutKind::kLessEq};
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto copy = base;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(CrackInThree<std::int64_t>(copy, {}, lo, hi));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CrackInThree)->Arg(1 << 18)->Arg(1 << 21)->Iterations(30);
+
+void BM_CrackedQuerySequence(benchmark::State& state) {
+  // Per-query cost after `range` queries of warm-up: shows convergence.
+  const auto data = Data(1 << 21);
+  for (auto _ : state) {
+    state.PauseTiming();
+    CrackerColumn<std::int64_t> col(data, {.with_row_ids = false});
+    Rng rng(5);
+    for (int i = 0; i < state.range(0); ++i) {
+      const auto lo = static_cast<std::int64_t>(rng.NextBounded(1 << 21));
+      col.Count(RangePredicate<std::int64_t>::Between(lo, lo + 2048));
+    }
+    const auto lo = static_cast<std::int64_t>(rng.NextBounded(1 << 21));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        col.Count(RangePredicate<std::int64_t>::Between(lo, lo + 2048)));
+  }
+}
+// Heavy warm-up per iteration: cap iterations so the suite stays fast.
+BENCHMARK(BM_CrackedQuerySequence)->Arg(0)->Iterations(20);
+BENCHMARK(BM_CrackedQuerySequence)->Arg(10)->Iterations(20);
+BENCHMARK(BM_CrackedQuerySequence)->Arg(100)->Iterations(10);
+BENCHMARK(BM_CrackedQuerySequence)->Arg(1000)->Iterations(5);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BPlusTree<std::int64_t> tree;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      tree.Insert(static_cast<std::int64_t>(rng.NextBounded(1 << 20)));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_BTreeBulkLoad(benchmark::State& state) {
+  auto data = Data(static_cast<std::size_t>(state.range(0)));
+  std::sort(data.begin(), data.end());
+  for (auto _ : state) {
+    BPlusTree<std::int64_t> tree;
+    tree.BulkLoadSorted(data);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeBulkLoad)->Arg(1 << 18);
+
+void BM_BTreeRangeCount(benchmark::State& state) {
+  auto data = Data(1 << 20);
+  std::sort(data.begin(), data.end());
+  BPlusTree<std::int64_t> tree;
+  tree.BulkLoadSorted(data);
+  Rng rng(9);
+  for (auto _ : state) {
+    const auto lo = static_cast<std::int64_t>(rng.NextBounded(1 << 20));
+    benchmark::DoNotOptimize(
+        tree.CountRange(RangePredicate<std::int64_t>::Between(lo, lo + 1024)));
+  }
+}
+BENCHMARK(BM_BTreeRangeCount);
+
+void BM_AvlInsertLookup(benchmark::State& state) {
+  Rng rng(11);
+  for (auto _ : state) {
+    AvlTree<std::int64_t, std::size_t> tree;
+    for (int i = 0; i < state.range(0); ++i) {
+      tree.Insert(static_cast<std::int64_t>(rng.NextBounded(1 << 20)), i);
+    }
+    benchmark::DoNotOptimize(tree.FindFloor(1 << 19));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AvlInsertLookup)->Arg(1 << 10)->Arg(1 << 14);
+
+}  // namespace
+}  // namespace aidx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// E1 — Selection cracking vs the two classical extremes (CIDR'07 Fig. 5
+// shape): per-query response time over a random range workload for
+//   scan   (never index),
+//   sort   (full index up front: first query pays the sort),
+//   btree  (full index variant),
+//   crack  (adaptive: every query reorganizes a little).
+//
+// Expected shape: scan flat; sort/btree huge first query then microseconds;
+// crack starts near scan cost and converges towards index speed.
+#include <iostream>
+
+#include "bench_common.h"
+#include "exec/access_path.h"
+#include "workload/data_generator.h"
+#include "workload/query_generator.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+using namespace aidx;
+
+int main() {
+  bench::PrintHeader("E1 crack vs scan vs full index",
+                     "tutorial §2 'Selection Cracking' / CIDR'07 response-time figure");
+  const std::size_t n = bench::ColumnSize();
+  const std::size_t q = bench::NumQueries();
+  std::cout << "column: " << n << " uniform int64, workload: " << q
+            << " random ranges, selectivity 0.1%\n\n";
+
+  const auto data = GenerateData({.n = n, .domain = static_cast<std::int64_t>(n),
+                                  .distribution = DataDistribution::kUniform,
+                                  .seed = 7});
+  const auto queries = GenerateQueries({.pattern = QueryPattern::kRandom,
+                                        .num_queries = q,
+                                        .domain = static_cast<std::int64_t>(n),
+                                        .selectivity = 0.001,
+                                        .seed = 13});
+
+  std::vector<RunResult> runs;
+  for (const auto& config : {StrategyConfig::FullScan(), StrategyConfig::FullSort(),
+                             StrategyConfig::BTree(), StrategyConfig::Crack()}) {
+    runs.push_back(RunWorkload(data, config, queries, "random"));
+  }
+  // Cross-strategy result agreement.
+  for (const auto& run : runs) {
+    if (run.count_checksum != runs.front().count_checksum) {
+      std::cerr << "CHECKSUM MISMATCH: " << run.strategy << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << "per-query response time (log-spaced sample):\n";
+  PrintSeriesComparison(std::cout, runs, bench::CsvPath("e1_series.csv"));
+
+  std::cout << "\nsummary:\n";
+  TablePrinter summary({"strategy", "first query", "median tail", "total"});
+  for (const auto& run : runs) {
+    summary.AddRow({run.strategy, FormatSeconds(run.first_query_seconds()),
+                    FormatSeconds(run.tail_mean(100)),
+                    FormatSeconds(run.total_seconds())});
+  }
+  summary.Print(std::cout);
+  return 0;
+}

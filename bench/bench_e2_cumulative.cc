@@ -1,0 +1,77 @@
+// E2 — Cumulative-average cost and break-even points (CIDR'07 cumulative
+// figure): when does investing in (adaptive) indexing pay off?
+//
+// Expected shape: cracking's cumulative average undercuts scan within a
+// handful of queries; full sort needs hundreds/thousands of queries to
+// amortize its first-query spike; cracking is the best of both early on.
+#include <iostream>
+
+#include "bench_common.h"
+#include "exec/access_path.h"
+#include "workload/data_generator.h"
+#include "workload/query_generator.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+using namespace aidx;
+
+namespace {
+
+/// First query index where `a`'s cumulative total drops below `b`'s; -1 if
+/// never within the run.
+std::ptrdiff_t BreakEven(const RunResult& a, const RunResult& b) {
+  double ca = 0;
+  double cb = 0;
+  for (std::size_t i = 0; i < a.per_query_seconds.size(); ++i) {
+    ca += a.per_query_seconds[i];
+    cb += b.per_query_seconds[i];
+    if (ca < cb) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("E2 cumulative average & break-even",
+                     "tutorial §2 'Selection Cracking' / CIDR'07 cumulative figure");
+  const std::size_t n = bench::ColumnSize();
+  const std::size_t q = bench::NumQueries();
+  const auto data = GenerateData({.n = n, .domain = static_cast<std::int64_t>(n),
+                                  .seed = 7});
+  const auto queries = GenerateQueries({.num_queries = q,
+                                        .domain = static_cast<std::int64_t>(n),
+                                        .selectivity = 0.001,
+                                        .seed = 13});
+
+  std::vector<RunResult> runs;
+  for (const auto& config : {StrategyConfig::FullScan(), StrategyConfig::FullSort(),
+                             StrategyConfig::Crack()}) {
+    runs.push_back(RunWorkload(data, config, queries, "random"));
+  }
+
+  std::cout << "cumulative average per query (log-spaced sample):\n";
+  TablePrinter table({"query", runs[0].strategy, runs[1].strategy, runs[2].strategy});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const std::size_t i : LogSpacedIndices(q)) {
+    table.AddRow({std::to_string(i + 1), FormatSeconds(runs[0].cumulative_average(i)),
+                  FormatSeconds(runs[1].cumulative_average(i)),
+                  FormatSeconds(runs[2].cumulative_average(i))});
+  }
+  table.Print(std::cout);
+
+  const auto& scan = runs[0];
+  const auto& sort = runs[1];
+  const auto& crack = runs[2];
+  std::cout << "\nbreak-even (cumulative cost drops below the competitor):\n";
+  TablePrinter be({"comparison", "query #"});
+  const auto show = [](std::ptrdiff_t v) {
+    return v < 0 ? std::string("never (in run)") : std::to_string(v + 1);
+  };
+  be.AddRow({"crack beats scan", show(BreakEven(crack, scan))});
+  be.AddRow({"crack beats sort", show(BreakEven(crack, sort))});
+  be.AddRow({"sort beats scan", show(BreakEven(sort, scan))});
+  be.AddRow({"sort catches crack", show(BreakEven(sort, crack))});
+  be.Print(std::cout);
+  return 0;
+}

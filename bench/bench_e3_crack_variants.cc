@@ -1,0 +1,89 @@
+// E3 — Crack-in-three vs two crack-in-two passes (CIDR'07 §4 algorithm
+// analysis): when a range's two bounds land in the same piece, is one
+// three-way pass cheaper than two two-way passes?
+//
+// Expected shape: crack-in-three wins for wide middle regions (one pass
+// over the data instead of ~1.7), narrows for selective ranges where the
+// second two-way pass only touches a small piece.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/crack_ops.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/report.h"
+
+using namespace aidx;
+
+namespace {
+
+std::vector<std::int64_t> RandomValues(std::size_t n, std::int64_t domain,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.NextBounded(domain));
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("E3 crack-in-two x2 vs crack-in-three",
+                     "tutorial §2 'Database Cracking' / CIDR'07 operator analysis");
+  const std::size_t n = bench::ColumnSize();
+  const auto domain = static_cast<std::int64_t>(n);
+  const int reps = 9;
+
+  TablePrinter table({"middle selectivity", "2x crack-in-two", "crack-in-three",
+                      "speedup"});
+  for (const double middle : {0.001, 0.01, 0.1, 0.3, 0.6, 0.9}) {
+    const auto width = static_cast<std::int64_t>(middle * static_cast<double>(domain));
+    const std::int64_t lo = (domain - width) / 2;
+    const Cut<std::int64_t> lo_cut{lo, CutKind::kLess};
+    const Cut<std::int64_t> hi_cut{lo + width, CutKind::kLessEq};
+
+    double two_total = 0;
+    double three_total = 0;
+    std::size_t sink = 0;
+    for (int r = 0; r < reps; ++r) {
+      auto a = RandomValues(n, domain, 100 + static_cast<std::uint64_t>(r));
+      auto b = a;
+      {
+        WallTimer t;
+        const std::size_t s1 = CrackInTwo<std::int64_t>(a, {}, lo_cut);
+        // Second bound: only the right part needs partitioning.
+        const std::size_t s2 =
+            s1 + CrackInTwo<std::int64_t>(std::span<std::int64_t>(a).subspan(s1), {},
+                                          hi_cut);
+        two_total += t.ElapsedSeconds();
+        sink += s2;
+      }
+      {
+        WallTimer t;
+        const ThreeWaySplit s = CrackInThree<std::int64_t>(b, {}, lo_cut, hi_cut);
+        three_total += t.ElapsedSeconds();
+        sink += s.middle_end;
+      }
+      // Both must produce identical partitions (as multisets per region).
+      if (r == 0) {
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        if (a != b) {
+          std::cerr << "VARIANTS DISAGREE\n";
+          return 1;
+        }
+      }
+    }
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", two_total / three_total);
+    table.AddRow({std::to_string(middle), FormatSeconds(two_total / reps),
+                  FormatSeconds(three_total / reps), speedup});
+    (void)sink;
+  }
+  table.Print(std::cout);
+  std::cout << "\n(column size " << n << "; each cell averages " << reps
+            << " fresh-column cracks)\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+// E4 — Cracking under updates (SIGMOD'07 Figs. 7/9 shape): per-query cost
+// with interleaved inserts under the three merge policies, plus an update
+// frequency / batch-size sweep.
+//
+// Expected shape: MRI (ripple) stays low and smooth; MCI (complete) spikes
+// on the first query after each batch; MGI sits between. Totals degrade
+// gracefully with update volume for MRI.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "update/updatable_column.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/data_generator.h"
+#include "workload/query_generator.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+using namespace aidx;
+
+namespace {
+
+struct UpdateRun {
+  std::string policy;
+  std::vector<double> per_query_seconds;
+  std::uint64_t checksum = 0;
+};
+
+/// Runs Q queries; before every `every`-th query, `batch` fresh inserts
+/// arrive. Construction of the column is charged to the first query.
+UpdateRun RunWithUpdates(const std::vector<std::int64_t>& base,
+                         std::span<const RangePredicate<std::int64_t>> queries,
+                         MergePolicy policy, std::size_t every, std::size_t batch,
+                         std::int64_t domain) {
+  UpdateRun out;
+  out.policy = MergePolicyName(policy);
+  Rng rng(99);
+  std::unique_ptr<UpdatableCrackerColumn<std::int64_t>> col;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (col != nullptr && every != 0 && i % every == 0 && i > 0) {
+      for (std::size_t b = 0; b < batch; ++b) {
+        col->Insert(static_cast<std::int64_t>(
+            rng.NextBounded(static_cast<std::uint64_t>(domain))));
+      }
+    }
+    WallTimer t;
+    if (col == nullptr) {
+      col = std::make_unique<UpdatableCrackerColumn<std::int64_t>>(
+          base, typename UpdatableCrackerColumn<std::int64_t>::Options{
+                    .policy = policy});
+    }
+    out.checksum += col->Count(queries[i]);
+    out.per_query_seconds.push_back(t.ElapsedSeconds());
+  }
+  return out;
+}
+
+double Total(const std::vector<double>& v) {
+  double s = 0;
+  for (const double x : v) s += x;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("E4 updates: MCI vs MGI vs MRI",
+                     "tutorial §2 'Cracking Updates' / SIGMOD'07 update figures");
+  const std::size_t n = bench::ColumnSize() / 2;
+  const std::size_t q = bench::NumQueries();
+  const auto domain = static_cast<std::int64_t>(n);
+  const auto data = GenerateData({.n = n, .domain = domain, .seed = 7});
+  const auto queries = GenerateQueries({.num_queries = q,
+                                        .domain = domain,
+                                        .selectivity = 0.001,
+                                        .seed = 13});
+
+  // --- Figure: per-query series, updates every 10 queries, batch 10. ---
+  std::cout << "\nseries: batch of 10 inserts every 10 queries (N=" << n
+            << ", Q=" << q << ")\n";
+  std::vector<RunResult> series;
+  for (const MergePolicy policy :
+       {MergePolicy::kRipple, MergePolicy::kGradual, MergePolicy::kComplete}) {
+    const UpdateRun run = RunWithUpdates(data, queries, policy, 10, 10, domain);
+    RunResult rr;
+    rr.strategy = run.policy;
+    rr.workload = "random+updates";
+    rr.per_query_seconds = run.per_query_seconds;
+    rr.count_checksum = run.checksum;
+    series.push_back(std::move(rr));
+  }
+  for (const auto& run : series) {
+    if (run.count_checksum != series.front().count_checksum) {
+      std::cerr << "CHECKSUM MISMATCH: " << run.strategy << "\n";
+      return 1;
+    }
+  }
+  PrintSeriesComparison(std::cout, series, bench::CsvPath("e4_series.csv"));
+
+  // --- Table: total cost across update frequency / batch size. ---
+  std::cout << "\ntotal workload cost by update pressure:\n";
+  TablePrinter table({"updates", "MRI", "MGI", "MCI"});
+  struct Config {
+    std::size_t every;
+    std::size_t batch;
+    const char* label;
+  };
+  for (const Config cfg : {Config{0, 0, "none"}, Config{100, 10, "10 per 100 q"},
+                           Config{10, 10, "10 per 10 q"},
+                           Config{10, 100, "100 per 10 q"},
+                           Config{1, 10, "10 per query"}}) {
+    std::vector<std::string> row = {cfg.label};
+    for (const MergePolicy policy :
+         {MergePolicy::kRipple, MergePolicy::kGradual, MergePolicy::kComplete}) {
+      const UpdateRun run =
+          RunWithUpdates(data, queries, policy, cfg.every, cfg.batch, domain);
+      row.push_back(FormatSeconds(Total(run.per_query_seconds)));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  return 0;
+}

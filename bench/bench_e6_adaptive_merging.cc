@@ -1,0 +1,68 @@
+// E6 — Adaptive merging vs database cracking (EDBT'10 Fig. 6 shape):
+// per-query response and convergence for the lazy (crack) and active
+// (merge) ends of the adaptive-indexing spectrum, with scan and full sort
+// as the brackets.
+//
+// Expected shape: merge pays a first query several × scan (run generation)
+// but reaches index-speed in tens of queries; cracking starts cheaper and
+// needs orders of magnitude more queries to converge.
+#include <iostream>
+
+#include "bench_common.h"
+#include "exec/access_path.h"
+#include "workload/data_generator.h"
+#include "workload/metrics.h"
+#include "workload/query_generator.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+using namespace aidx;
+
+int main() {
+  bench::PrintHeader("E6 adaptive merging vs cracking",
+                     "tutorial §2 'Adaptive Merging' / EDBT'10 convergence figure");
+  const std::size_t n = bench::ColumnSize();
+  const std::size_t q = bench::NumQueries();
+  const auto data = GenerateData({.n = n, .domain = static_cast<std::int64_t>(n),
+                                  .seed = 7});
+  const auto queries = GenerateQueries({.num_queries = q,
+                                        .domain = static_cast<std::int64_t>(n),
+                                        .selectivity = 0.001,
+                                        .seed = 13});
+
+  std::vector<RunResult> runs;
+  for (const auto& config :
+       {StrategyConfig::FullScan(), StrategyConfig::FullSort(), StrategyConfig::Crack(),
+        StrategyConfig::AdaptiveMerge(n / 16)}) {
+    runs.push_back(RunWorkload(data, config, queries, "random"));
+  }
+  for (const auto& run : runs) {
+    if (run.count_checksum != runs.front().count_checksum) {
+      std::cerr << "CHECKSUM MISMATCH: " << run.strategy << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << "run size = N/16 = " << n / 16 << " values\n\n";
+  PrintSeriesComparison(std::cout, runs, bench::CsvPath("e6_series.csv"));
+
+  // Convergence metrics against the full-sort steady state.
+  const double scan_cost = runs[0].tail_mean(100);
+  const double reference = runs[1].tail_mean(100);
+  std::cout << "\nTPCTC metrics (reference = sort steady state "
+            << FormatSeconds(reference) << "):\n";
+  TablePrinter table({"strategy", "first query", "xscan", "converged@", "total"});
+  for (const auto& run : runs) {
+    const BenchmarkMetrics m = ComputeMetrics(run, scan_cost, reference,
+                                            {.convergence_factor = 8.0});
+    char overhead[32];
+    std::snprintf(overhead, sizeof(overhead), "%.1f", m.first_query_overhead);
+    table.AddRow({run.strategy, FormatSeconds(m.first_query_seconds), overhead,
+                  m.queries_to_convergence < 0
+                      ? "never"
+                      : std::to_string(m.queries_to_convergence + 1),
+                  FormatSeconds(m.total_seconds)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

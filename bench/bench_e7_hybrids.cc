@@ -1,0 +1,79 @@
+// E7 — The hybrid family (PVLDB'11 Figs. 9-11 shape): HCC, HCS, HCR, HSS,
+// HSR, HRR against pure cracking and adaptive merging.
+//
+// Expected shape: HCC tracks cracking with better convergence (data moves
+// into range-clustered final segments); HCS/HCR buy near-merge convergence
+// at a fraction of merge's first-query cost; HSS tracks adaptive merging.
+#include <iostream>
+
+#include "bench_common.h"
+#include "exec/access_path.h"
+#include "workload/data_generator.h"
+#include "workload/metrics.h"
+#include "workload/query_generator.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+using namespace aidx;
+
+int main() {
+  bench::PrintHeader("E7 hybrid adaptive indexing",
+                     "tutorial §2 'Hybrid Adaptive Indexing Algorithms' / PVLDB'11 figures");
+  const std::size_t n = bench::ColumnSize();
+  const std::size_t q = bench::NumQueries();
+  const std::size_t part = n / 16;
+  const auto data = GenerateData({.n = n, .domain = static_cast<std::int64_t>(n),
+                                  .seed = 7});
+  const auto queries = GenerateQueries({.num_queries = q,
+                                        .domain = static_cast<std::int64_t>(n),
+                                        .selectivity = 0.001,
+                                        .seed = 13});
+
+  std::vector<StrategyConfig> configs = {
+      StrategyConfig::Crack(),
+      StrategyConfig::AdaptiveMerge(part),
+      StrategyConfig::Hybrid(OrganizeMode::kCrack, OrganizeMode::kCrack, part),
+      StrategyConfig::Hybrid(OrganizeMode::kCrack, OrganizeMode::kSort, part),
+      StrategyConfig::Hybrid(OrganizeMode::kCrack, OrganizeMode::kRadix, part),
+      StrategyConfig::Hybrid(OrganizeMode::kSort, OrganizeMode::kSort, part),
+      StrategyConfig::Hybrid(OrganizeMode::kSort, OrganizeMode::kRadix, part),
+      StrategyConfig::Hybrid(OrganizeMode::kRadix, OrganizeMode::kRadix, part),
+  };
+  std::vector<RunResult> runs;
+  for (const auto& config : configs) {
+    runs.push_back(RunWorkload(data, config, queries, "random"));
+  }
+  for (const auto& run : runs) {
+    if (run.count_checksum != runs.front().count_checksum) {
+      std::cerr << "CHECKSUM MISMATCH: " << run.strategy << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << "partition/run size = N/16 = " << part << "\n\n";
+  PrintSeriesComparison(std::cout, runs, bench::CsvPath("e7_series.csv"));
+
+  // Scan/sort references for the metrics (computed on the same workload).
+  const RunResult scan = RunWorkload(data, StrategyConfig::FullScan(), queries, "random");
+  const RunResult sort = RunWorkload(data, StrategyConfig::FullSort(), queries, "random");
+  const double scan_cost = scan.tail_mean(100);
+  const double reference = sort.tail_mean(100);
+
+  std::cout << "\nfirst-query cost vs convergence (the hybrid trade-off):\n";
+  TablePrinter table({"strategy", "first query", "xscan", "converged@",
+                      "cumavg@100", "total"});
+  for (const auto& run : runs) {
+    const BenchmarkMetrics m = ComputeMetrics(run, scan_cost, reference,
+                                            {.convergence_factor = 8.0});
+    char overhead[32];
+    std::snprintf(overhead, sizeof(overhead), "%.1f", m.first_query_overhead);
+    table.AddRow({run.strategy, FormatSeconds(m.first_query_seconds), overhead,
+                  m.queries_to_convergence < 0
+                      ? "never"
+                      : std::to_string(m.queries_to_convergence + 1),
+                  FormatSeconds(run.cumulative_average(std::min<std::size_t>(99, q - 1))),
+                  FormatSeconds(m.total_seconds)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

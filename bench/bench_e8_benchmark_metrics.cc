@@ -1,0 +1,90 @@
+// E8 — The adaptive-indexing benchmark table (TPCTC'10): for every
+// strategy × workload pattern, the two headline metrics — first-query
+// overhead relative to a scan, and queries-to-convergence — plus totals.
+//
+// Expected shape: cracking ≈ 1-2 × scan first query; sort/merge pay much
+// more up front but converge in few queries; on sequential patterns plain
+// cracking never converges while stochastic cracking does.
+#include <iostream>
+
+#include "bench_common.h"
+#include "exec/access_path.h"
+#include "workload/data_generator.h"
+#include "workload/metrics.h"
+#include "workload/query_generator.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+using namespace aidx;
+
+int main() {
+  bench::PrintHeader("E8 adaptive indexing benchmark",
+                     "tutorial §2 'Performance Metrics and Benchmark' / TPCTC'10 table");
+  const std::size_t n = bench::ColumnSize() / 2;
+  const std::size_t q = bench::NumQueries() / 2;
+  const auto domain = static_cast<std::int64_t>(n);
+  const auto data = GenerateData({.n = n, .domain = domain, .seed = 7});
+
+  const QueryPattern patterns[] = {QueryPattern::kRandom, QueryPattern::kSkewed,
+                                   QueryPattern::kSequential, QueryPattern::kPeriodic};
+  const StrategyConfig configs[] = {
+      StrategyConfig::FullScan(),
+      StrategyConfig::FullSort(),
+      StrategyConfig::Crack(),
+      StrategyConfig::StochasticCrack(1 << 14),
+      StrategyConfig::AdaptiveMerge(n / 16),
+      StrategyConfig::Hybrid(OrganizeMode::kCrack, OrganizeMode::kSort, n / 16),
+  };
+
+  std::cout << "N=" << n << ", Q=" << q << " per pattern, selectivity 0.1%\n\n";
+  TablePrinter table({"workload", "strategy", "first query", "xscan", "converged@",
+                      "total"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const QueryPattern pattern : patterns) {
+    const auto queries = GenerateQueries({.pattern = pattern,
+                                          .num_queries = q,
+                                          .domain = domain,
+                                          .selectivity = 0.001,
+                                          .seed = 13});
+    // Per-pattern references.
+    const RunResult scan =
+        RunWorkload(data, StrategyConfig::FullScan(), queries, QueryPatternName(pattern));
+    const RunResult sort =
+        RunWorkload(data, StrategyConfig::FullSort(), queries, QueryPatternName(pattern));
+    const double scan_cost = scan.tail_mean(100);
+    const double reference = sort.tail_mean(100);
+
+    for (const auto& config : configs) {
+      const RunResult run =
+          RunWorkload(data, config, queries, QueryPatternName(pattern));
+      if (run.count_checksum != scan.count_checksum) {
+        std::cerr << "CHECKSUM MISMATCH: " << run.strategy << " on "
+                  << QueryPatternName(pattern) << "\n";
+        return 1;
+      }
+      const BenchmarkMetrics m = ComputeMetrics(run, scan_cost, reference,
+                                            {.convergence_factor = 8.0});
+      char overhead[32];
+      std::snprintf(overhead, sizeof(overhead), "%.1f", m.first_query_overhead);
+      const std::string converged = m.queries_to_convergence < 0
+                                        ? "never"
+                                        : std::to_string(m.queries_to_convergence + 1);
+      table.AddRow({QueryPatternName(pattern), run.strategy,
+                    FormatSeconds(m.first_query_seconds), overhead, converged,
+                    FormatSeconds(m.total_seconds)});
+      csv_rows.push_back({QueryPatternName(pattern), run.strategy,
+                          std::to_string(m.first_query_seconds),
+                          std::to_string(m.first_query_overhead), converged,
+                          std::to_string(m.total_seconds)});
+    }
+  }
+  table.Print(std::cout);
+  const std::string csv = bench::CsvPath("e8_metrics.csv");
+  if (!csv.empty()) {
+    (void)WriteCsv(csv, {"workload", "strategy", "first_s", "xscan", "converged",
+                         "total_s"},
+                   csv_rows);
+    std::cout << "(csv: " << csv << ")\n";
+  }
+  return 0;
+}

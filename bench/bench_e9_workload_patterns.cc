@@ -1,0 +1,58 @@
+// E9 — Workload-pattern robustness (TPCTC'10 patterns): plain cracking vs
+// stochastic cracking across all seven patterns.
+//
+// Expected shape: equal (within noise) on random/skewed; on sequential-ish
+// patterns plain cracking degenerates (every query re-cracks the huge
+// untouched suffix ⇒ per-query cost stays scan-like) while stochastic
+// cracking's random pre-cracks keep convergence on track.
+#include <iostream>
+
+#include "bench_common.h"
+#include "exec/access_path.h"
+#include "workload/data_generator.h"
+#include "workload/metrics.h"
+#include "workload/query_generator.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+using namespace aidx;
+
+int main() {
+  bench::PrintHeader("E9 workload patterns: cracking vs stochastic cracking",
+                     "tutorial §2 'improving convergence speed' topic / TPCTC'10 patterns");
+  const std::size_t n = bench::ColumnSize() / 2;
+  const std::size_t q = bench::NumQueries() / 2;
+  const auto domain = static_cast<std::int64_t>(n);
+  const auto data = GenerateData({.n = n, .domain = domain, .seed = 7});
+
+  std::cout << "N=" << n << ", Q=" << q << " per pattern\n\n";
+  TablePrinter table({"workload", "strategy", "first query", "tail mean", "total"});
+  for (const QueryPattern pattern : kAllQueryPatterns) {
+    const auto queries = GenerateQueries({.pattern = pattern,
+                                          .num_queries = q,
+                                          .domain = domain,
+                                          .selectivity = 0.001,
+                                          .seed = 13});
+    std::uint64_t checksum = 0;
+    for (const auto& config :
+         {StrategyConfig::Crack(), StrategyConfig::StochasticCrack(1 << 14)}) {
+      const RunResult run =
+          RunWorkload(data, config, queries, QueryPatternName(pattern));
+      if (checksum == 0) {
+        checksum = run.count_checksum;
+      } else if (run.count_checksum != checksum) {
+        std::cerr << "CHECKSUM MISMATCH on " << QueryPatternName(pattern) << "\n";
+        return 1;
+      }
+      table.AddRow({QueryPatternName(pattern), run.strategy,
+                    FormatSeconds(run.first_query_seconds()),
+                    FormatSeconds(run.tail_mean(50)),
+                    FormatSeconds(run.total_seconds())});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nNote the 'sequential' rows: plain cracking's tail mean stays "
+               "high (degenerate),\nstochastic cracking's approaches the random-"
+               "pattern level.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: adaptive indexing in five minutes.
+//
+// Loads a column of 4M random integers, runs the same analytical query
+// through three strategies, and shows the adaptive-indexing effect: the
+// cracked column gets faster with every query — no CREATE INDEX anywhere.
+//
+// Build & run:   ./build/examples/quickstart
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "exec/engine.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/report.h"
+
+using namespace aidx;
+
+int main() {
+  // 1. Load a table. The engine is an in-memory column store.
+  Database db;
+  AIDX_CHECK_OK(db.CreateTable("sales"));
+  constexpr std::size_t kRows = 1 << 22;
+  Rng rng(2024);
+  std::vector<std::int64_t> amounts(kRows);
+  for (auto& a : amounts) a = static_cast<std::int64_t>(rng.NextBounded(1'000'000));
+  AIDX_CHECK_OK(db.AddColumn("sales", "amount", std::move(amounts)));
+  std::cout << "loaded sales.amount with " << kRows << " rows\n\n";
+
+  // 2. Ask range queries. Every query is also "advice on how data should
+  //    be stored": the crack strategy reorganizes a little each time.
+  const auto pred = RangePredicate<std::int64_t>::Between(250'000, 260'000);
+  std::cout << "query: SELECT COUNT(*) FROM sales WHERE amount BETWEEN 250000 "
+               "AND 260000\n\n";
+
+  TablePrinter table({"attempt", "scan", "crack (adaptive)"});
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    WallTimer scan_timer;
+    const auto scan_count =
+        db.Count("sales", "amount", pred, StrategyConfig::FullScan());
+    const double scan_s = scan_timer.ElapsedSeconds();
+    AIDX_CHECK(scan_count.ok());
+
+    WallTimer crack_timer;
+    const auto crack_count = db.Count("sales", "amount", pred, StrategyConfig::Crack());
+    const double crack_s = crack_timer.ElapsedSeconds();
+    AIDX_CHECK(crack_count.ok());
+    AIDX_CHECK(*scan_count == *crack_count);
+
+    table.AddRow({std::to_string(attempt), FormatSeconds(scan_s),
+                  FormatSeconds(crack_s)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nThe scan costs the same every time; the cracked column paid a\n"
+               "small premium on attempt 1 (copy + first cracks) and answers\n"
+               "from a contiguous piece afterwards. Different ranges benefit\n"
+               "too — each query refines the index for its neighbourhood:\n\n";
+
+  TablePrinter drift({"range", "crack time", "rows"});
+  for (std::int64_t lo = 0; lo < 1'000'000; lo += 200'000) {
+    const auto p = RangePredicate<std::int64_t>::Between(lo, lo + 10'000);
+    WallTimer t;
+    const auto count = db.Count("sales", "amount", p, StrategyConfig::Crack());
+    AIDX_CHECK(count.ok());
+    drift.AddRow({"[" + std::to_string(lo) + ", " + std::to_string(lo + 10'000) + "]",
+                  FormatSeconds(t.ElapsedSeconds()), std::to_string(*count)});
+  }
+  drift.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Strategy explorer: a small CLI over the whole strategy × workload space.
+//
+//   ./build/examples/strategy_explorer [strategy] [pattern] [n] [q]
+//
+//   strategy: scan | sort | btree | crack | stochastic | merge |
+//             HCC | HCS | HCR | HSS | HSR | HRR          (default: crack)
+//   pattern : random | skewed | sequential | periodic | zoom-in |
+//             zoom-out | shifting-hotspot                 (default: random)
+//   n       : column size    (default 2097152)
+//   q       : query count    (default 2000)
+//
+// Prints the per-query series (log-spaced), the TPCTC benchmark metrics,
+// and a comparison against the scan/sort brackets.
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "exec/access_path.h"
+#include "workload/data_generator.h"
+#include "workload/metrics.h"
+#include "workload/query_generator.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+using namespace aidx;
+
+namespace {
+
+std::optional<StrategyConfig> ParseStrategy(const std::string& name,
+                                            std::size_t part_size) {
+  if (name == "scan") return StrategyConfig::FullScan();
+  if (name == "sort") return StrategyConfig::FullSort();
+  if (name == "btree") return StrategyConfig::BTree();
+  if (name == "crack") return StrategyConfig::Crack();
+  if (name == "stochastic") return StrategyConfig::StochasticCrack();
+  if (name == "merge") return StrategyConfig::AdaptiveMerge(part_size);
+  if (name.size() == 3 && name[0] == 'H') {
+    const auto mode = [](char c) -> std::optional<OrganizeMode> {
+      switch (c) {
+        case 'C': return OrganizeMode::kCrack;
+        case 'S': return OrganizeMode::kSort;
+        case 'R': return OrganizeMode::kRadix;
+        default: return std::nullopt;
+      }
+    };
+    const auto initial = mode(name[1]);
+    const auto final_mode = mode(name[2]);
+    if (initial && final_mode) {
+      return StrategyConfig::Hybrid(*initial, *final_mode, part_size);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<QueryPattern> ParsePattern(const std::string& name) {
+  for (const QueryPattern p : kAllQueryPatterns) {
+    if (name == QueryPatternName(p)) return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string strategy_name = argc > 1 ? argv[1] : "crack";
+  const std::string pattern_name = argc > 2 ? argv[2] : "random";
+  const std::size_t n = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1 << 21;
+  const std::size_t q = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 2000;
+
+  const auto config = ParseStrategy(strategy_name, n / 16);
+  const auto pattern = ParsePattern(pattern_name);
+  if (!config || !pattern || n == 0 || q == 0) {
+    std::cerr << "usage: strategy_explorer [strategy] [pattern] [n] [q]\n"
+              << "  strategies: scan sort btree crack stochastic merge "
+                 "HCC HCS HCR HSS HSR HRR ...\n"
+              << "  patterns:   ";
+    for (const QueryPattern p : kAllQueryPatterns) {
+      std::cerr << QueryPatternName(p) << " ";
+    }
+    std::cerr << "\n";
+    return 2;
+  }
+
+  std::cout << "strategy=" << config->DisplayName() << " pattern=" << pattern_name
+            << " n=" << n << " q=" << q << "\n\n";
+  const auto data = GenerateData({.n = n, .domain = static_cast<std::int64_t>(n),
+                                  .seed = 7});
+  const auto queries = GenerateQueries({.pattern = *pattern,
+                                        .num_queries = q,
+                                        .domain = static_cast<std::int64_t>(n),
+                                        .selectivity = 0.001,
+                                        .seed = 13});
+
+  const RunResult run = RunWorkload(data, *config, queries, pattern_name);
+  const RunResult scan =
+      RunWorkload(data, StrategyConfig::FullScan(), queries, pattern_name);
+  const RunResult sort =
+      RunWorkload(data, StrategyConfig::FullSort(), queries, pattern_name);
+  if (run.count_checksum != scan.count_checksum) {
+    std::cerr << "internal error: checksum mismatch vs scan oracle\n";
+    return 1;
+  }
+
+  PrintSeriesComparison(std::cout, {run, scan, sort}, "");
+
+  const BenchmarkMetrics m =
+      ComputeMetrics(run, scan.tail_mean(100), sort.tail_mean(100));
+  std::cout << "\nTPCTC benchmark metrics for " << run.strategy << ":\n"
+            << "  first query          " << FormatSeconds(m.first_query_seconds)
+            << "  (" << m.first_query_overhead << " x scan)\n"
+            << "  queries to converge  "
+            << (m.queries_to_convergence < 0
+                    ? std::string("not within this run")
+                    : std::to_string(m.queries_to_convergence + 1))
+            << "\n"
+            << "  steady state         " << FormatSeconds(m.steady_state_seconds)
+            << "\n"
+            << "  total                " << FormatSeconds(m.total_seconds) << "\n";
+  return 0;
+}

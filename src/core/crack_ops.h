@@ -1,0 +1,87 @@
+// The physical reorganization primitives of database cracking (CIDR 2007):
+// crack-in-two and crack-in-three. These run inside the select operator —
+// the defining move of adaptive indexing: the query operator itself
+// reorganizes data.
+//
+// Both primitives optionally maintain a parallel payload array in tandem.
+// The payload is a row id for cracker columns and a *tail value* for the
+// cracker maps of sideways cracking (where the projected attribute travels
+// with the selection attribute -- the self-organizing tuple reconstruction
+// idea of SIGMOD 2009).
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "core/cut.h"
+#include "storage/types.h"
+#include "util/logging.h"
+
+namespace aidx {
+
+/// Partitions `values` (and `row_ids` in tandem when non-empty) around `cut`.
+///
+/// Returns the split point m such that Below(cut) holds exactly for
+/// [0, m) and fails for [m, n). Hoare-style two-pointer pass: O(n) with at
+/// most n/2 swaps; no allocation.
+template <ColumnValue T, typename Payload = row_id_t>
+std::size_t CrackInTwo(std::span<T> values, std::span<Payload> row_ids,
+                       const Cut<T>& cut) {
+  AIDX_DCHECK(row_ids.empty() || row_ids.size() == values.size());
+  const bool tandem = !row_ids.empty();
+  std::size_t l = 0;
+  std::size_t r = values.size();
+  for (;;) {
+    while (l < r && cut.Below(values[l])) ++l;
+    while (l < r && !cut.Below(values[r - 1])) --r;
+    if (l >= r) break;
+    // values[l] is not-below and values[r-1] is below; l < r - 1 here.
+    std::swap(values[l], values[r - 1]);
+    if (tandem) std::swap(row_ids[l], row_ids[r - 1]);
+    ++l;
+    --r;
+  }
+  return l;
+}
+
+/// Result of a three-way crack: [0, lower_end) | [lower_end, middle_end) |
+/// [middle_end, n).
+struct ThreeWaySplit {
+  std::size_t lower_end = 0;
+  std::size_t middle_end = 0;
+};
+
+/// Partitions into three regions in one pass (Dutch-national-flag sweep):
+///   region A: Below(lo_cut)
+///   region B: !Below(lo_cut) && Below(hi_cut)   — the qualifying middle
+///   region C: !Below(hi_cut)
+///
+/// Requires lo_cut <= hi_cut (so A and C cannot overlap).
+template <ColumnValue T, typename Payload = row_id_t>
+ThreeWaySplit CrackInThree(std::span<T> values, std::span<Payload> row_ids,
+                           const Cut<T>& lo_cut, const Cut<T>& hi_cut) {
+  AIDX_DCHECK(!(hi_cut < lo_cut));
+  AIDX_DCHECK(row_ids.empty() || row_ids.size() == values.size());
+  const bool tandem = !row_ids.empty();
+  std::size_t a = 0;                // next slot of region A
+  std::size_t m = 0;                // cursor
+  std::size_t z = values.size();    // first slot of region C
+  while (m < z) {
+    const T v = values[m];
+    if (lo_cut.Below(v)) {
+      std::swap(values[a], values[m]);
+      if (tandem) std::swap(row_ids[a], row_ids[m]);
+      ++a;
+      ++m;
+    } else if (!hi_cut.Below(v)) {
+      --z;
+      std::swap(values[m], values[z]);
+      if (tandem) std::swap(row_ids[m], row_ids[z]);
+    } else {
+      ++m;
+    }
+  }
+  return {a, z};
+}
+
+}  // namespace aidx

@@ -1,0 +1,148 @@
+// CutRange and CutIntervalSet: value-interval bookkeeping in cut space.
+//
+// Adaptive merging and the hybrid algorithms migrate whole *value ranges*
+// from their initial partitions into a final store. A CutIntervalSet records
+// which ranges have fully migrated so that every query knows the exact
+// still-missing sub-ranges it must extract. Working in cut space (rather
+// than value space) keeps inclusive/exclusive endpoints and duplicate
+// values exact with no epsilon arithmetic.
+#pragma once
+
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "core/cut.h"
+#include "storage/predicate.h"
+#include "storage/types.h"
+#include "util/logging.h"
+
+namespace aidx {
+
+/// The value set { v : !lo.Below(v) && hi.Below(v) } — i.e. at-or-above the
+/// lo cut and below the hi cut. Empty iff hi <= lo in cut order.
+template <ColumnValue T>
+struct CutRange {
+  Cut<T> lo{};
+  Cut<T> hi{};
+
+  bool Empty() const { return !(lo < hi); }
+  bool Contains(T v) const { return !lo.Below(v) && hi.Below(v); }
+
+  friend bool operator==(const CutRange& a, const CutRange& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+
+  std::string ToString() const { return lo.ToString() + ".." + hi.ToString(); }
+};
+
+/// Sentinel cut below every representable value of T.
+template <ColumnValue T>
+Cut<T> MinusInfinityCut() {
+  return {std::numeric_limits<T>::lowest(), CutKind::kLess};
+}
+
+/// Sentinel cut above every representable value of T.
+template <ColumnValue T>
+Cut<T> PlusInfinityCut() {
+  return {std::numeric_limits<T>::max(), CutKind::kLessEq};
+}
+
+/// Predicate -> cut range; unbounded sides become infinity sentinels.
+template <ColumnValue T>
+CutRange<T> CutRangeForPredicate(const RangePredicate<T>& pred) {
+  const PredicateCuts<T> cuts = CutsForPredicate(pred);
+  CutRange<T> out{MinusInfinityCut<T>(), PlusInfinityCut<T>()};
+  if (cuts.has_lower) out.lo = cuts.lower;
+  if (cuts.has_upper) out.hi = cuts.upper;
+  return out;
+}
+
+/// Cut range -> equivalent predicate (the exact inverse of the cut
+/// translation table in cut.h).
+template <ColumnValue T>
+RangePredicate<T> PredicateForCutRange(const CutRange<T>& range) {
+  RangePredicate<T> pred;
+  pred.low = range.lo.value;
+  pred.low_kind = range.lo.kind == CutKind::kLess ? BoundKind::kInclusive
+                                                  : BoundKind::kExclusive;
+  pred.high = range.hi.value;
+  pred.high_kind = range.hi.kind == CutKind::kLessEq ? BoundKind::kInclusive
+                                                     : BoundKind::kExclusive;
+  return pred;
+}
+
+/// A set of disjoint, coalesced cut ranges with union and subtraction.
+template <ColumnValue T>
+class CutIntervalSet {
+ public:
+  /// Adds `range` to the set, merging with overlapping or adjacent ranges.
+  void Add(CutRange<T> range) {
+    if (range.Empty()) return;
+    // Find the first existing range that could interact: the one with the
+    // greatest start <= range.hi; walk left while still touching.
+    auto it = map_.upper_bound(range.hi);  // first start > range.hi
+    while (it != map_.begin()) {
+      auto prev = std::prev(it);
+      // prev interacts if its end >= range.lo (overlap or adjacency).
+      if (prev->second < range.lo) break;
+      if (prev->first < range.lo) range.lo = prev->first;
+      if (range.hi < prev->second) range.hi = prev->second;
+      it = map_.erase(prev);
+    }
+    map_.emplace(range.lo, range.hi);
+  }
+
+  /// True when `range` is entirely covered (empty ranges are covered).
+  bool Covers(const CutRange<T>& range) const {
+    if (range.Empty()) return true;
+    const auto it = map_.upper_bound(range.lo);  // first start > range.lo
+    if (it == map_.begin()) return false;
+    const auto& candidate = *std::prev(it);      // start <= range.lo
+    return !(candidate.second < range.hi);
+  }
+
+  /// The sub-ranges of `range` not covered by the set, in ascending order.
+  std::vector<CutRange<T>> Missing(const CutRange<T>& range) const {
+    std::vector<CutRange<T>> out;
+    if (range.Empty()) return out;
+    Cut<T> cursor = range.lo;
+    // Start from the last range with start <= cursor.
+    auto it = map_.upper_bound(cursor);
+    if (it != map_.begin()) --it;
+    for (; it != map_.end() && it->first < range.hi; ++it) {
+      if (cursor < it->first) {
+        const Cut<T> gap_end = it->first < range.hi ? it->first : range.hi;
+        if (cursor < gap_end) out.push_back({cursor, gap_end});
+      }
+      if (cursor < it->second) cursor = it->second;
+      if (!(cursor < range.hi)) return out;
+    }
+    if (cursor < range.hi) out.push_back({cursor, range.hi});
+    return out;
+  }
+
+  std::size_t num_ranges() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  template <typename Fn>
+  void VisitRanges(Fn&& fn) const {
+    for (const auto& [lo, hi] : map_) fn(CutRange<T>{lo, hi});
+  }
+
+  /// Ranges must be non-empty, sorted, and separated by real gaps.
+  bool Validate() const {
+    const Cut<T>* prev_end = nullptr;
+    for (const auto& [lo, hi] : map_) {
+      if (!(lo < hi)) return false;
+      if (prev_end != nullptr && !(*prev_end < lo)) return false;
+      prev_end = &hi;
+    }
+    return true;
+  }
+
+ private:
+  std::map<Cut<T>, Cut<T>> map_;  // start cut -> end cut
+};
+
+}  // namespace aidx

@@ -1,0 +1,289 @@
+// Access paths: the uniform query interface over every indexing strategy
+// this library reproduces. The benchmark harness, the engine facade, and
+// the examples all talk to AccessPath so that strategies are swappable —
+// the role the query optimizer plays in a full kernel (DESIGN.md §6).
+//
+// Construction is lazy: the underlying structure is built inside the first
+// query, so "the first query pays initialization" — the cost model every
+// surveyed paper uses — holds by construction.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/adaptive_merging.h"
+#include "core/cracker_column.h"
+#include "core/hybrid.h"
+#include "core/organizer.h"
+#include "index/btree.h"
+#include "index/scan.h"
+#include "index/sorted_index.h"
+#include "storage/predicate.h"
+#include "storage/types.h"
+#include "util/logging.h"
+#include "util/macros.h"
+
+namespace aidx {
+
+/// The strategy families the tutorial covers.
+enum class StrategyKind : char {
+  kFullScan,         // no index, ever
+  kFullSort,         // offline indexing: sort everything on first query
+  kBPlusTree,        // offline indexing: bulk-load a B+ tree on first query
+  kCrack,            // database cracking (CIDR'07)
+  kStochasticCrack,  // cracking + random pre-cracks (convergence extension)
+  kAdaptiveMerge,    // adaptive merging (EDBT'10)
+  kHybrid,           // hybrid family (PVLDB'11): initial/final modes below
+};
+
+/// A fully specified strategy: the kind plus its tuning knobs.
+struct StrategyConfig {
+  StrategyKind kind = StrategyKind::kCrack;
+  // Cracking knobs.
+  std::size_t min_piece_size = 0;
+  std::size_t stochastic_threshold = 1 << 14;
+  std::uint64_t seed = 0x9E3779B9ULL;
+  // Adaptive merging / hybrid knobs.
+  std::size_t run_size = 1 << 18;        // merge runs / hybrid partitions
+  OrganizeMode hybrid_initial = OrganizeMode::kCrack;
+  OrganizeMode hybrid_final = OrganizeMode::kCrack;
+  int radix_bits = 6;
+  // Carry row ids (needed only when results must project other columns).
+  bool with_row_ids = false;
+
+  static StrategyConfig FullScan() { return {.kind = StrategyKind::kFullScan}; }
+  static StrategyConfig FullSort() { return {.kind = StrategyKind::kFullSort}; }
+  static StrategyConfig BTree() { return {.kind = StrategyKind::kBPlusTree}; }
+  static StrategyConfig Crack() { return {.kind = StrategyKind::kCrack}; }
+  static StrategyConfig StochasticCrack(std::size_t threshold = 1 << 14) {
+    return {.kind = StrategyKind::kStochasticCrack, .stochastic_threshold = threshold};
+  }
+  static StrategyConfig AdaptiveMerge(std::size_t run_size = 1 << 18) {
+    return {.kind = StrategyKind::kAdaptiveMerge, .run_size = run_size};
+  }
+  static StrategyConfig Hybrid(OrganizeMode initial, OrganizeMode final_mode,
+                               std::size_t partition_size = 1 << 18) {
+    return {.kind = StrategyKind::kHybrid,
+            .run_size = partition_size,
+            .hybrid_initial = initial,
+            .hybrid_final = final_mode};
+  }
+
+  /// Short display name used in figures and reports ("crack", "HCS", ...).
+  std::string DisplayName() const {
+    switch (kind) {
+      case StrategyKind::kFullScan:
+        return "scan";
+      case StrategyKind::kFullSort:
+        return "sort";
+      case StrategyKind::kBPlusTree:
+        return "btree";
+      case StrategyKind::kCrack:
+        return min_piece_size > 0 ? "crack(p" + std::to_string(min_piece_size) + ")"
+                                  : "crack";
+      case StrategyKind::kStochasticCrack:
+        return "stochastic";
+      case StrategyKind::kAdaptiveMerge:
+        return "merge";
+      case StrategyKind::kHybrid:
+        return std::string("H") + OrganizeModeLetter(hybrid_initial) +
+               OrganizeModeLetter(hybrid_final);
+    }
+    return "?";
+  }
+};
+
+/// Uniform adaptive-query interface. Count and Sum *may reorganize data* —
+/// that is the point of adaptive indexing.
+template <ColumnValue T>
+class AccessPath {
+ public:
+  virtual ~AccessPath() = default;
+  virtual std::string name() const = 0;
+  virtual std::size_t Count(const RangePredicate<T>& pred) = 0;
+  virtual long double Sum(const RangePredicate<T>& pred) = 0;
+};
+
+namespace internal {
+
+template <ColumnValue T>
+class ScanPath final : public AccessPath<T> {
+ public:
+  explicit ScanPath(std::span<const T> base) : base_(base) {}
+  std::string name() const override { return "scan"; }
+  std::size_t Count(const RangePredicate<T>& pred) override {
+    return ScanCount<T>(base_, pred);
+  }
+  long double Sum(const RangePredicate<T>& pred) override {
+    return ScanSum<T>(base_, pred);
+  }
+
+ private:
+  std::span<const T> base_;
+};
+
+template <ColumnValue T>
+class FullSortPath final : public AccessPath<T> {
+ public:
+  explicit FullSortPath(std::span<const T> base) : base_(base) {}
+  std::string name() const override { return "sort"; }
+  std::size_t Count(const RangePredicate<T>& pred) override {
+    return Index().CountRange(pred);
+  }
+  long double Sum(const RangePredicate<T>& pred) override {
+    return Index().SumRange(pred);
+  }
+
+ private:
+  FullSortIndex<T>& Index() {
+    if (!index_) index_.emplace(base_);
+    return *index_;
+  }
+  std::span<const T> base_;
+  std::optional<FullSortIndex<T>> index_;
+};
+
+template <ColumnValue T>
+class BTreePath final : public AccessPath<T> {
+ public:
+  explicit BTreePath(std::span<const T> base) : base_(base) {}
+  std::string name() const override { return "btree"; }
+  std::size_t Count(const RangePredicate<T>& pred) override {
+    return Tree().CountRange(pred);
+  }
+  long double Sum(const RangePredicate<T>& pred) override {
+    return Tree().SumRange(pred);
+  }
+
+ private:
+  BPlusTree<T>& Tree() {
+    if (!tree_) {
+      tree_.emplace();
+      FullSortIndex<T> sorted(base_);  // sort, then bulk-load
+      tree_->BulkLoadSorted(sorted.values());
+    }
+    return *tree_;
+  }
+  std::span<const T> base_;
+  std::optional<BPlusTree<T>> tree_;
+};
+
+template <ColumnValue T>
+class CrackPath final : public AccessPath<T> {
+ public:
+  CrackPath(std::span<const T> base, const StrategyConfig& config)
+      : base_(base), config_(config) {}
+  std::string name() const override { return config_.DisplayName(); }
+  std::size_t Count(const RangePredicate<T>& pred) override {
+    return Column().Count(pred);
+  }
+  long double Sum(const RangePredicate<T>& pred) override {
+    return Column().Sum(pred);
+  }
+
+ private:
+  CrackerColumn<T>& Column() {
+    if (!column_) {
+      CrackerColumnOptions options;
+      options.with_row_ids = config_.with_row_ids;
+      options.min_piece_size = config_.min_piece_size;
+      if (config_.kind == StrategyKind::kStochasticCrack) {
+        options.stochastic_threshold = config_.stochastic_threshold;
+        options.stochastic_seed = config_.seed;
+      }
+      column_.emplace(base_, options);
+    }
+    return *column_;
+  }
+  std::span<const T> base_;
+  StrategyConfig config_;
+  std::optional<CrackerColumn<T>> column_;
+};
+
+template <ColumnValue T>
+class AdaptiveMergePath final : public AccessPath<T> {
+ public:
+  AdaptiveMergePath(std::span<const T> base, const StrategyConfig& config)
+      : base_(base), config_(config) {}
+  std::string name() const override { return "merge"; }
+  std::size_t Count(const RangePredicate<T>& pred) override {
+    return Index().Count(pred);
+  }
+  long double Sum(const RangePredicate<T>& pred) override {
+    return Index().Sum(pred);
+  }
+
+ private:
+  AdaptiveMergingIndex<T>& Index() {
+    if (!index_) {
+      index_.emplace(base_,
+                     typename AdaptiveMergingIndex<T>::Options{
+                         .run_size = config_.run_size,
+                         .with_row_ids = config_.with_row_ids});
+    }
+    return *index_;
+  }
+  std::span<const T> base_;
+  StrategyConfig config_;
+  std::optional<AdaptiveMergingIndex<T>> index_;
+};
+
+template <ColumnValue T>
+class HybridPath final : public AccessPath<T> {
+ public:
+  HybridPath(std::span<const T> base, const StrategyConfig& config)
+      : base_(base), config_(config) {}
+  std::string name() const override { return config_.DisplayName(); }
+  std::size_t Count(const RangePredicate<T>& pred) override {
+    return Index().Count(pred);
+  }
+  long double Sum(const RangePredicate<T>& pred) override {
+    return Index().Sum(pred);
+  }
+
+ private:
+  HybridIndex<T>& Index() {
+    if (!index_) {
+      index_.emplace(base_, typename HybridIndex<T>::Options{
+                                .partition_size = config_.run_size,
+                                .initial_mode = config_.hybrid_initial,
+                                .final_mode = config_.hybrid_final,
+                                .radix_bits = config_.radix_bits,
+                                .with_row_ids = config_.with_row_ids});
+    }
+    return *index_;
+  }
+  std::span<const T> base_;
+  StrategyConfig config_;
+  std::optional<HybridIndex<T>> index_;
+};
+
+}  // namespace internal
+
+/// Builds an access path over a borrowed base column. The base span must
+/// outlive the access path.
+template <ColumnValue T>
+std::unique_ptr<AccessPath<T>> MakeAccessPath(std::span<const T> base,
+                                              const StrategyConfig& config) {
+  switch (config.kind) {
+    case StrategyKind::kFullScan:
+      return std::make_unique<internal::ScanPath<T>>(base);
+    case StrategyKind::kFullSort:
+      return std::make_unique<internal::FullSortPath<T>>(base);
+    case StrategyKind::kBPlusTree:
+      return std::make_unique<internal::BTreePath<T>>(base);
+    case StrategyKind::kCrack:
+    case StrategyKind::kStochasticCrack:
+      return std::make_unique<internal::CrackPath<T>>(base, config);
+    case StrategyKind::kAdaptiveMerge:
+      return std::make_unique<internal::AdaptiveMergePath<T>>(base, config);
+    case StrategyKind::kHybrid:
+      return std::make_unique<internal::HybridPath<T>>(base, config);
+  }
+  AIDX_LOG(Fatal) << "unknown strategy kind";
+  return nullptr;
+}
+
+}  // namespace aidx

@@ -1,0 +1,96 @@
+#include "exec/engine.h"
+
+namespace aidx {
+
+Status Database::CreateTable(std::string name) {
+  return catalog_.CreateTable(std::move(name)).status();
+}
+
+Status Database::AddColumn(std::string_view table, std::string column,
+                           std::vector<std::int64_t> values) {
+  AIDX_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  return t->AddColumn<std::int64_t>(std::move(column), std::move(values));
+}
+
+Result<std::span<const std::int64_t>> Database::ColumnSpan(
+    std::string_view table, std::string_view column) const {
+  AIDX_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  AIDX_ASSIGN_OR_RETURN(const TypedColumn<std::int64_t>* col,
+                        t->GetTypedColumn<std::int64_t>(column));
+  return col->Values();
+}
+
+Result<AccessPath<std::int64_t>*> Database::PathFor(std::string_view table,
+                                                    std::string_view column,
+                                                    const StrategyConfig& config) {
+  std::string key;
+  key.reserve(table.size() + column.size() + 16);
+  key.append(table);
+  key.push_back('.');
+  key.append(column);
+  key.push_back('#');
+  key.append(config.DisplayName());
+  const auto it = paths_.find(key);
+  if (it != paths_.end()) return it->second.get();
+  AIDX_ASSIGN_OR_RETURN(const auto span, ColumnSpan(table, column));
+  auto path = MakeAccessPath<std::int64_t>(span, config);
+  AccessPath<std::int64_t>* raw = path.get();
+  paths_.emplace(std::move(key), std::move(path));
+  return raw;
+}
+
+Result<std::size_t> Database::Count(std::string_view table, std::string_view column,
+                                    const RangePredicate<std::int64_t>& pred,
+                                    const StrategyConfig& config) {
+  AIDX_ASSIGN_OR_RETURN(AccessPath<std::int64_t> * path, PathFor(table, column, config));
+  return path->Count(pred);
+}
+
+Result<double> Database::Sum(std::string_view table, std::string_view column,
+                             const RangePredicate<std::int64_t>& pred,
+                             const StrategyConfig& config) {
+  AIDX_ASSIGN_OR_RETURN(AccessPath<std::int64_t> * path, PathFor(table, column, config));
+  return static_cast<double>(path->Sum(pred));
+}
+
+Result<SidewaysCracker<std::int64_t>*> Database::SidewaysFor(std::string_view table,
+                                                             std::string_view head) {
+  std::string key;
+  key.reserve(table.size() + head.size() + 1);
+  key.append(table);
+  key.push_back('.');
+  key.append(head);
+  const auto it = sideways_.find(key);
+  if (it != sideways_.end()) return it->second.get();
+
+  AIDX_ASSIGN_OR_RETURN(const auto head_span, ColumnSpan(table, head));
+  auto cracker = std::make_unique<SidewaysCracker<std::int64_t>>(head_span);
+  // Register every other int64 column of the table as a potential tail.
+  AIDX_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  for (const std::string& name : t->column_names()) {
+    if (name == head) continue;
+    AIDX_ASSIGN_OR_RETURN(Column * col, t->GetColumn(name));
+    if (col->type() != DataType::kInt64) continue;
+    AIDX_ASSIGN_OR_RETURN(const TypedColumn<std::int64_t>* typed,
+                          static_cast<const Column*>(col)->As<std::int64_t>());
+    AIDX_RETURN_NOT_OK(cracker->AddTailColumn(name, typed->Values()));
+  }
+  SidewaysCracker<std::int64_t>* raw = cracker.get();
+  sideways_.emplace(std::move(key), std::move(cracker));
+  return raw;
+}
+
+Result<ProjectionResult<std::int64_t>> Database::SelectProject(
+    std::string_view table, std::string_view head,
+    const RangePredicate<std::int64_t>& pred, const std::vector<std::string>& tails) {
+  AIDX_ASSIGN_OR_RETURN(SidewaysCracker<std::int64_t> * cracker,
+                        SidewaysFor(table, head));
+  return cracker->SelectProject(pred, tails);
+}
+
+void Database::ResetAdaptiveState() {
+  paths_.clear();
+  sideways_.clear();
+}
+
+}  // namespace aidx

@@ -1,0 +1,81 @@
+// Database: the facade tying the substrate together — a catalog of tables,
+// per-column adaptive access paths chosen by strategy, and sideways
+// cracking for multi-column select-project queries.
+//
+// This plays the role the MonetDB integration plays in the surveyed papers:
+// the component that routes query operators to adaptive structures
+// (tutorial §2, "Auto-tuning Kernels").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/access_path.h"
+#include "sideways/sideways.h"
+#include "storage/catalog.h"
+#include "storage/predicate.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace aidx {
+
+/// Engine facade over int64 columns (the experiment type; the underlying
+/// templates support int32/float64 — see tests).
+class Database {
+ public:
+  Database() = default;
+  AIDX_DEFAULT_MOVE_ONLY(Database);
+
+  /// Creates a table; fails on duplicates.
+  Status CreateTable(std::string name);
+
+  /// Adds an int64 column to a table.
+  Status AddColumn(std::string_view table, std::string column,
+                   std::vector<std::int64_t> values);
+
+  /// Rows of `table`.`column` matching `pred`, answered through the access
+  /// path of `config` (created lazily and cached per column+strategy, so
+  /// repeated calls adapt the same structure).
+  Result<std::size_t> Count(std::string_view table, std::string_view column,
+                            const RangePredicate<std::int64_t>& pred,
+                            const StrategyConfig& config);
+
+  /// SUM(column) over matching rows; same caching semantics as Count.
+  Result<double> Sum(std::string_view table, std::string_view column,
+                     const RangePredicate<std::int64_t>& pred,
+                     const StrategyConfig& config);
+
+  /// σ_pred(head) projecting `tails`, via sideways cracking (one cracker
+  /// map per projected column, adaptively aligned).
+  Result<ProjectionResult<std::int64_t>> SelectProject(
+      std::string_view table, std::string_view head,
+      const RangePredicate<std::int64_t>& pred,
+      const std::vector<std::string>& tails);
+
+  /// Drops every cached adaptive structure (access paths and sideways
+  /// maps); base tables are untouched.
+  void ResetAdaptiveState();
+
+  const Catalog& catalog() const { return catalog_; }
+  std::size_t num_cached_paths() const { return paths_.size(); }
+
+ private:
+  Result<std::span<const std::int64_t>> ColumnSpan(std::string_view table,
+                                                   std::string_view column) const;
+  Result<AccessPath<std::int64_t>*> PathFor(std::string_view table,
+                                            std::string_view column,
+                                            const StrategyConfig& config);
+  Result<SidewaysCracker<std::int64_t>*> SidewaysFor(std::string_view table,
+                                                     std::string_view head);
+
+  Catalog catalog_;
+  std::unordered_map<std::string, std::unique_ptr<AccessPath<std::int64_t>>> paths_;
+  std::unordered_map<std::string, std::unique_ptr<SidewaysCracker<std::int64_t>>>
+      sideways_;
+};
+
+}  // namespace aidx

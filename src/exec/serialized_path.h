@@ -1,0 +1,52 @@
+// SerializedAccessPath: coarse-latched sharing of an adaptive structure.
+//
+// Concurrency control for adaptive indexing is one of the tutorial's *open
+// research topics* (§2, "Open Topics"): every query is also a write, so
+// classic shared-read locking does not apply. This wrapper provides the
+// baseline any real solution must beat — one exclusive latch serializing
+// all queries — making any AccessPath safe to share across threads without
+// changing its adaptive behaviour. DESIGN.md §6 records the finer-grained
+// schemes (piece-level latching, lock-free cracking) as out of scope.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "exec/access_path.h"
+
+namespace aidx {
+
+template <ColumnValue T>
+class SerializedAccessPath final : public AccessPath<T> {
+ public:
+  explicit SerializedAccessPath(std::unique_ptr<AccessPath<T>> inner)
+      : inner_(std::move(inner)) {
+    AIDX_CHECK(inner_ != nullptr);
+  }
+
+  std::string name() const override { return inner_->name() + "+latch"; }
+
+  std::size_t Count(const RangePredicate<T>& pred) override {
+    const std::lock_guard<std::mutex> guard(latch_);
+    return inner_->Count(pred);
+  }
+
+  long double Sum(const RangePredicate<T>& pred) override {
+    const std::lock_guard<std::mutex> guard(latch_);
+    return inner_->Sum(pred);
+  }
+
+ private:
+  std::unique_ptr<AccessPath<T>> inner_;
+  std::mutex latch_;
+};
+
+/// Wraps a freshly built strategy in the serializing latch.
+template <ColumnValue T>
+std::unique_ptr<AccessPath<T>> MakeSerializedAccessPath(std::span<const T> base,
+                                                        const StrategyConfig& config) {
+  return std::make_unique<SerializedAccessPath<T>>(MakeAccessPath<T>(base, config));
+}
+
+}  // namespace aidx

@@ -1,0 +1,55 @@
+// The non-indexed access path: predicate scans over dense arrays.
+//
+// Serves three roles: (1) the "no index" baseline of every experiment,
+// (2) the oracle the test suite compares every adaptive structure against,
+// (3) the edge-piece filter used when cracking stops at a piece-size
+// threshold.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "storage/predicate.h"
+#include "storage/types.h"
+
+namespace aidx {
+
+/// Counts values matching the predicate. Single tight loop; the compiler
+/// vectorizes the two-comparison body (bulk processing, column-store style).
+template <ColumnValue T>
+std::size_t ScanCount(std::span<const T> values, const RangePredicate<T>& pred) {
+  std::size_t count = 0;
+  for (const T v : values) count += pred.Matches(v) ? 1 : 0;
+  return count;
+}
+
+/// Sums values matching the predicate (the aggregate the figures report).
+template <ColumnValue T>
+long double ScanSum(std::span<const T> values, const RangePredicate<T>& pred) {
+  long double sum = 0;
+  for (const T v : values) {
+    if (pred.Matches(v)) sum += static_cast<long double>(v);
+  }
+  return sum;
+}
+
+/// Collects the positions of matching values.
+template <ColumnValue T>
+void ScanPositions(std::span<const T> values, const RangePredicate<T>& pred,
+                   std::vector<std::size_t>* out) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (pred.Matches(values[i])) out->push_back(i);
+  }
+}
+
+/// Collects matching values themselves (materializing select).
+template <ColumnValue T>
+void ScanValues(std::span<const T> values, const RangePredicate<T>& pred,
+                std::vector<T>* out) {
+  for (const T v : values) {
+    if (pred.Matches(v)) out->push_back(v);
+  }
+}
+
+}  // namespace aidx

@@ -1,0 +1,107 @@
+// FullSortIndex: the "build the full index up front" baseline.
+//
+// Models offline indexing: the first access pays a complete sort (the
+// a-priori index build); every later query is two binary searches. This is
+// the convergence target adaptive indexing is measured against.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "storage/predicate.h"
+#include "storage/types.h"
+#include "util/logging.h"
+
+namespace aidx {
+
+/// Fully sorted copy of a column (optionally carrying row ids), answering
+/// range predicates with binary search.
+template <ColumnValue T>
+class FullSortIndex {
+ public:
+  struct Options {
+    /// Keep the base row id of every value so results can project other
+    /// columns. Costs one row_id_t per value and a pair-sort at build.
+    bool with_row_ids = false;
+  };
+
+  FullSortIndex(std::span<const T> base, Options options = {}) {
+    values_.assign(base.begin(), base.end());
+    if (options.with_row_ids) {
+      row_ids_.resize(base.size());
+      std::iota(row_ids_.begin(), row_ids_.end(), row_id_t{0});
+      // Argsort, then apply the permutation to both arrays.
+      std::vector<row_id_t> perm = row_ids_;
+      std::sort(perm.begin(), perm.end(),
+                [&](row_id_t a, row_id_t b) { return base[a] < base[b]; });
+      std::vector<T> sorted_values(base.size());
+      for (std::size_t i = 0; i < perm.size(); ++i) sorted_values[i] = base[perm[i]];
+      values_ = std::move(sorted_values);
+      row_ids_ = std::move(perm);
+    } else {
+      std::sort(values_.begin(), values_.end());
+    }
+  }
+
+  /// Positions (into the *sorted* array) matching the predicate; always one
+  /// contiguous range because the data is fully ordered.
+  PositionRange SelectRange(const RangePredicate<T>& pred) const {
+    std::size_t lo = 0;
+    std::size_t hi = values_.size();
+    switch (pred.low_kind) {
+      case BoundKind::kInclusive:
+        lo = LowerBound(pred.low);
+        break;
+      case BoundKind::kExclusive:
+        lo = UpperBound(pred.low);
+        break;
+      case BoundKind::kUnbounded:
+        break;
+    }
+    switch (pred.high_kind) {
+      case BoundKind::kInclusive:
+        hi = UpperBound(pred.high);
+        break;
+      case BoundKind::kExclusive:
+        hi = LowerBound(pred.high);
+        break;
+      case BoundKind::kUnbounded:
+        break;
+    }
+    if (hi < lo) hi = lo;
+    return {lo, hi};
+  }
+
+  std::size_t CountRange(const RangePredicate<T>& pred) const {
+    return SelectRange(pred).size();
+  }
+
+  long double SumRange(const RangePredicate<T>& pred) const {
+    const PositionRange r = SelectRange(pred);
+    long double sum = 0;
+    for (std::size_t i = r.begin; i < r.end; ++i) sum += values_[i];
+    return sum;
+  }
+
+  std::span<const T> values() const { return values_; }
+  /// Row ids aligned with values(); empty unless built with_row_ids.
+  std::span<const row_id_t> row_ids() const { return row_ids_; }
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::size_t LowerBound(T v) const {
+    return static_cast<std::size_t>(
+        std::lower_bound(values_.begin(), values_.end(), v) - values_.begin());
+  }
+  std::size_t UpperBound(T v) const {
+    return static_cast<std::size_t>(
+        std::upper_bound(values_.begin(), values_.end(), v) - values_.begin());
+  }
+
+  std::vector<T> values_;
+  std::vector<row_id_t> row_ids_;
+};
+
+}  // namespace aidx

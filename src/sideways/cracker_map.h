@@ -1,0 +1,133 @@
+// Cracker maps: the unit of sideways cracking (SIGMOD 2009,
+// "Self-organizing Tuple Reconstruction in Column-Stores").
+//
+// A map M_{A,B} holds (head, tail) pairs — selection attribute A and
+// projected attribute B — physically reorganized *together* by cracks on A.
+// After a select on A the qualifying tuples' B values are one contiguous
+// slice: tuple reconstruction becomes a sequential copy instead of the
+// random-access gathers that late materialization pays per row.
+//
+// Maps of the same head stay *aligned* by replaying a shared crack tape
+// (see sideways.h); CrackerMap itself is the single-map mechanism.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/crack_ops.h"
+#include "core/cracker_index.h"
+#include "core/cut.h"
+#include "storage/predicate.h"
+#include "storage/types.h"
+#include "util/logging.h"
+#include "util/macros.h"
+
+namespace aidx {
+
+/// Adaptation counters for one cracker map.
+struct CrackerMapStats {
+  std::size_t num_selects = 0;
+  std::size_t num_cracks = 0;
+  std::size_t values_touched = 0;
+};
+
+template <ColumnValue T, ColumnValue TailT = T>
+class CrackerMap {
+ public:
+  /// Materializes the map from base columns (both copied). Creation cost is
+  /// part of the first query that needs this map — callers create lazily.
+  CrackerMap(std::span<const T> head, std::span<const TailT> tail)
+      : head_(head.begin(), head.end()),
+        tail_(tail.begin(), tail.end()),
+        index_(head.size()) {
+    AIDX_CHECK(head.size() == tail.size())
+        << "head/tail length mismatch: " << head.size() << " vs " << tail.size();
+  }
+
+  AIDX_DEFAULT_MOVE_ONLY(CrackerMap);
+
+  /// Cracks on the predicate's bounds and returns the contiguous position
+  /// range of qualifying tuples. Deterministic: two maps with identical
+  /// initial content that apply the same predicate sequence have identical
+  /// layouts (the property alignment relies on).
+  PositionRange Select(const RangePredicate<T>& pred) {
+    ++stats_.num_selects;
+    if (pred.DefinitelyEmpty()) return {0, 0};
+    const PredicateCuts<T> cuts = CutsForPredicate(pred);
+    std::size_t begin = 0;
+    std::size_t end = head_.size();
+    if (cuts.has_lower && cuts.has_upper) {
+      const CutLookup<T> lo = index_.Lookup(cuts.lower);
+      const CutLookup<T> hi = index_.Lookup(cuts.upper);
+      if (!lo.exact && !hi.exact && lo.piece.begin == hi.piece.begin &&
+          lo.piece.end == hi.piece.end && !(cuts.upper < cuts.lower) &&
+          !(cuts.lower == cuts.upper)) {
+        const auto& piece = lo.piece;
+        const ThreeWaySplit split = CrackInThree<T, TailT>(
+            HeadIn(piece.begin, piece.end), TailIn(piece.begin, piece.end),
+            cuts.lower, cuts.upper);
+        ++stats_.num_cracks;
+        stats_.values_touched += piece.end - piece.begin;
+        index_.AddCut(cuts.lower, piece.begin + split.lower_end);
+        index_.AddCut(cuts.upper, piece.begin + split.middle_end);
+        return {piece.begin + split.lower_end, piece.begin + split.middle_end};
+      }
+    }
+    if (cuts.has_lower) begin = ResolveCut(cuts.lower);
+    if (cuts.has_upper) end = ResolveCut(cuts.upper);
+    if (end < begin) end = begin;
+    return {begin, end};
+  }
+
+  std::span<const T> head() const { return head_; }
+  std::span<const TailT> tail() const { return tail_; }
+  std::size_t size() const { return head_.size(); }
+  const CrackerIndex<T>& index() const { return index_; }
+  const CrackerMapStats& stats() const { return stats_; }
+
+  /// Payload bytes this map pins (the unit of the storage budget).
+  std::size_t MemoryUsageBytes() const {
+    return head_.capacity() * sizeof(T) + tail_.capacity() * sizeof(TailT);
+  }
+
+  /// Piece invariants over the head column. O(n); tests only.
+  bool Validate() const {
+    if (!index_.Validate() || index_.column_size() != head_.size()) return false;
+    bool ok = true;
+    index_.VisitPieces([&](const PieceInfo<T>& piece) {
+      for (std::size_t i = piece.begin; i < piece.end && ok; ++i) {
+        if (piece.lower && piece.lower->Below(head_[i])) ok = false;
+        if (piece.upper && !piece.upper->Below(head_[i])) ok = false;
+      }
+    });
+    return ok;
+  }
+
+ private:
+  std::span<T> HeadIn(std::size_t b, std::size_t e) {
+    return std::span<T>(head_).subspan(b, e - b);
+  }
+  std::span<TailT> TailIn(std::size_t b, std::size_t e) {
+    return std::span<TailT>(tail_).subspan(b, e - b);
+  }
+
+  std::size_t ResolveCut(const Cut<T>& cut) {
+    const CutLookup<T> look = index_.Lookup(cut);
+    if (look.exact) return look.position;
+    const auto& piece = look.piece;
+    const std::size_t split =
+        piece.begin + CrackInTwo<T, TailT>(HeadIn(piece.begin, piece.end),
+                                           TailIn(piece.begin, piece.end), cut);
+    ++stats_.num_cracks;
+    stats_.values_touched += piece.end - piece.begin;
+    index_.AddCut(cut, split);
+    return split;
+  }
+
+  std::vector<T> head_;
+  std::vector<TailT> tail_;
+  CrackerIndex<T> index_;
+  CrackerMapStats stats_;
+};
+
+}  // namespace aidx

@@ -1,0 +1,262 @@
+// Sideways cracking: multi-column select-project queries over a set of
+// cracker maps kept consistent by adaptive alignment (SIGMOD 2009).
+//
+// One SidewaysCracker serves one head (selection) attribute A and any
+// number of tail (projection) attributes B1..Bk:
+//   * map M_{A,Bi} is materialized lazily, the first time a query projects
+//     Bi — only queried columns ever pay storage (partial indexing);
+//   * every select predicate is appended to a shared *crack tape*; a map is
+//     aligned by replaying the tape entries it has not applied yet, which
+//     reproduces the exact same physical layout in every map (adaptive
+//     alignment) so positions correspond across maps row by row;
+//   * a storage budget (partial sideways cracking) caps the bytes pinned by
+//     maps; least-recently-used maps are evicted and rebuilt on demand.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sideways/cracker_map.h"
+#include "storage/predicate.h"
+#include "storage/types.h"
+#include "util/logging.h"
+#include "util/macros.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace aidx {
+
+/// Workload-facing counters.
+struct SidewaysStats {
+  std::size_t num_queries = 0;
+  std::size_t maps_created = 0;
+  std::size_t maps_evicted = 0;
+  std::size_t alignment_replays = 0;  // tape entries replayed for catch-up
+};
+
+/// Result of a select-project: one value vector per requested tail column,
+/// all the same length, row-aligned.
+template <ColumnValue T>
+struct ProjectionResult {
+  std::size_t num_rows = 0;
+  std::vector<std::string> column_names;
+  std::vector<std::vector<T>> columns;
+};
+
+template <ColumnValue T>
+class SidewaysCracker {
+ public:
+  struct Options {
+    /// Maximum bytes of cracker-map storage (partial sideways cracking).
+    /// Unlimited by default.
+    std::size_t storage_budget_bytes = std::numeric_limits<std::size_t>::max();
+    /// When true, every registered map is realigned after every query
+    /// (the eager strategy the adaptive-alignment ablation compares against).
+    bool eager_alignment = false;
+  };
+
+  /// Borrows the base columns; they must outlive the cracker.
+  SidewaysCracker(std::span<const T> head, Options options = {})
+      : options_(options), head_(head) {}
+
+  AIDX_DEFAULT_MOVE_ONLY(SidewaysCracker);
+
+  /// Registers a tail column (no map materialized yet).
+  Status AddTailColumn(std::string name, std::span<const T> tail) {
+    if (tail.size() != head_.size()) {
+      return Status::InvalidArgument("tail '" + name + "' has " +
+                                     std::to_string(tail.size()) + " rows, head has " +
+                                     std::to_string(head_.size()));
+    }
+    if (tails_.contains(name)) {
+      return Status::AlreadyExists("tail '" + name + "' already registered");
+    }
+    tails_.emplace(std::move(name), tail);
+    return Status::OK();
+  }
+
+  /// σ_pred(A) with projection of `tail_names`: returns row-aligned value
+  /// vectors. Cracks (and aligns) every involved map as a side effect.
+  Result<ProjectionResult<T>> SelectProject(const RangePredicate<T>& pred,
+                                            const std::vector<std::string>& tail_names) {
+    ++stats_.num_queries;
+    if (tail_names.empty()) {
+      return Status::InvalidArgument("select-project needs at least one tail column");
+    }
+    // The query's predicate joins the tape; maps catch up to the full tape.
+    tape_.push_back(pred);
+    std::vector<MapEntry*> entries;
+    entries.reserve(tail_names.size());
+    for (const std::string& name : tail_names) {
+      AIDX_ASSIGN_OR_RETURN(MapEntry * entry, GetOrCreateMap(name, tail_names));
+      entries.push_back(entry);
+    }
+    ProjectionResult<T> out;
+    out.column_names = tail_names;
+    bool first = true;
+    PositionRange range{0, 0};
+    for (MapEntry* entry : entries) {
+      Align(entry);
+      // After alignment the predicate's cuts exist; Select just looks up.
+      const PositionRange r = entry->map->Select(pred);
+      if (first) {
+        range = r;
+        out.num_rows = r.size();
+        first = false;
+      } else {
+        // Alignment guarantees identical layouts across maps.
+        AIDX_CHECK(r.begin == range.begin && r.end == range.end)
+            << "maps diverged: alignment invariant broken";
+      }
+      const auto tail = entry->map->tail();
+      out.columns.emplace_back(tail.begin() + static_cast<std::ptrdiff_t>(r.begin),
+                               tail.begin() + static_cast<std::ptrdiff_t>(r.end));
+    }
+    if (options_.eager_alignment) AlignAll();
+    return out;
+  }
+
+  /// σ_pred(A) aggregating SUM(tail): the single-map fast path.
+  Result<long double> SelectSum(const RangePredicate<T>& pred,
+                                const std::string& tail_name) {
+    ++stats_.num_queries;
+    tape_.push_back(pred);
+    AIDX_ASSIGN_OR_RETURN(MapEntry * entry, GetOrCreateMap(tail_name, {tail_name}));
+    Align(entry);
+    const PositionRange r = entry->map->Select(pred);
+    const auto tail = entry->map->tail();
+    long double sum = 0;
+    for (std::size_t i = r.begin; i < r.end; ++i) sum += tail[i];
+    if (options_.eager_alignment) AlignAll();
+    return sum;
+  }
+
+  /// Multi-attribute selection σ_head_pred(A) ∧ σ_tail_pred(B) using map
+  /// M_AB (SIGMOD'09 multi-selection processing): the head predicate is
+  /// answered by cracking — a contiguous candidate range — and the tail
+  /// predicate filters that range's co-located tail values, no row-id
+  /// gathers involved.
+  Result<std::size_t> SelectCountWhere(const RangePredicate<T>& head_pred,
+                                       const std::string& tail_name,
+                                       const RangePredicate<T>& tail_pred) {
+    ++stats_.num_queries;
+    tape_.push_back(head_pred);
+    AIDX_ASSIGN_OR_RETURN(MapEntry * entry, GetOrCreateMap(tail_name, {tail_name}));
+    Align(entry);
+    const PositionRange r = entry->map->Select(head_pred);
+    const auto tail = entry->map->tail();
+    std::size_t count = 0;
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      count += tail_pred.Matches(tail[i]) ? 1 : 0;
+    }
+    if (options_.eager_alignment) AlignAll();
+    return count;
+  }
+
+  const SidewaysStats& stats() const { return stats_; }
+  std::size_t tape_length() const { return tape_.size(); }
+  std::size_t num_live_maps() const { return maps_.size(); }
+  std::size_t MemoryUsageBytes() const {
+    std::size_t total = 0;
+    for (const auto& [_, e] : maps_) total += e.map->MemoryUsageBytes();
+    return total;
+  }
+
+  /// All live maps must satisfy piece invariants and pairwise layout
+  /// equality on their applied prefix. O(maps × n); tests only.
+  bool Validate() const {
+    for (const auto& [name, entry] : maps_) {
+      if (!entry.map->Validate()) return false;
+      if (entry.tape_pos > tape_.size()) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct MapEntry {
+    std::unique_ptr<CrackerMap<T>> map;
+    std::size_t tape_pos = 0;   // tape entries already applied
+    std::uint64_t last_used = 0;
+  };
+
+  /// `pinned` names may not be evicted: they belong to the in-flight query
+  /// (pointers to their entries are live).
+  Result<MapEntry*> GetOrCreateMap(const std::string& name,
+                                   const std::vector<std::string>& pinned) {
+    const auto tail_it = tails_.find(name);
+    if (tail_it == tails_.end()) {
+      return Status::NotFound("no tail column '" + name + "' registered");
+    }
+    auto map_it = maps_.find(name);
+    if (map_it == maps_.end()) {
+      AIDX_RETURN_NOT_OK(EnsureBudgetFor(PerMapBytes(), pinned));
+      MapEntry entry;
+      entry.map = std::make_unique<CrackerMap<T>>(head_, tail_it->second);
+      entry.tape_pos = 0;  // a fresh map replays the whole tape
+      ++stats_.maps_created;
+      map_it = maps_.emplace(name, std::move(entry)).first;
+    }
+    map_it->second.last_used = ++clock_;
+    return &map_it->second;
+  }
+
+  void Align(MapEntry* entry) {
+    while (entry->tape_pos < tape_.size()) {
+      entry->map->Select(tape_[entry->tape_pos]);
+      ++entry->tape_pos;
+      ++stats_.alignment_replays;
+    }
+  }
+
+  void AlignAll() {
+    for (auto& [_, entry] : maps_) Align(&entry);
+  }
+
+  std::size_t PerMapBytes() const { return head_.size() * 2 * sizeof(T); }
+
+  /// Evicts LRU maps (never `pinned` ones) until `incoming` extra bytes fit
+  /// in the budget.
+  Status EnsureBudgetFor(std::size_t incoming,
+                         const std::vector<std::string>& pinned) {
+    if (incoming > options_.storage_budget_bytes) {
+      return Status::ResourceExhausted(
+          "storage budget " + std::to_string(options_.storage_budget_bytes) +
+          " B cannot hold even one map (" + std::to_string(incoming) + " B)");
+    }
+    while (MemoryUsageBytes() + incoming > options_.storage_budget_bytes) {
+      auto victim = maps_.end();
+      for (auto it = maps_.begin(); it != maps_.end(); ++it) {
+        if (std::find(pinned.begin(), pinned.end(), it->first) != pinned.end()) {
+          continue;
+        }
+        if (victim == maps_.end() || it->second.last_used < victim->second.last_used) {
+          victim = it;
+        }
+      }
+      if (victim == maps_.end()) {
+        return Status::ResourceExhausted(
+            "storage budget too small for the maps this query projects");
+      }
+      maps_.erase(victim);
+      ++stats_.maps_evicted;
+    }
+    return Status::OK();
+  }
+
+  Options options_;
+  std::span<const T> head_;
+  std::unordered_map<std::string, std::span<const T>> tails_;
+  std::unordered_map<std::string, MapEntry> maps_;
+  std::vector<RangePredicate<T>> tape_;
+  SidewaysStats stats_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace aidx

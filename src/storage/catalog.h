@@ -1,0 +1,40 @@
+// Catalog: the namespace of tables owned by a Database instance.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace aidx {
+
+/// Owns tables and resolves them by name.
+class Catalog {
+ public:
+  Catalog() = default;
+  AIDX_DEFAULT_MOVE_ONLY(Catalog);
+
+  /// Registers a table; fails if the name is taken.
+  Status AddTable(std::unique_ptr<Table> table);
+
+  /// Creates an empty table and returns it for population.
+  Result<Table*> CreateTable(std::string name);
+
+  Result<Table*> GetTable(std::string_view name) const;
+
+  /// Drops a table; fails when absent.
+  Status DropTable(std::string_view name);
+
+  std::vector<std::string> TableNames() const;
+  std::size_t size() const { return tables_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace aidx

@@ -1,0 +1,42 @@
+#include "storage/table.h"
+
+namespace aidx {
+
+Status Table::AddColumn(std::unique_ptr<Column> column) {
+  if (column == nullptr) {
+    return Status::InvalidArgument("cannot add null column to table '" + name_ + "'");
+  }
+  const std::string& col_name = column->name();
+  if (col_name.empty()) {
+    return Status::InvalidArgument("column name must be non-empty");
+  }
+  if (columns_.contains(col_name)) {
+    return Status::AlreadyExists("column '" + col_name + "' already exists in table '" +
+                                 name_ + "'");
+  }
+  if (!columns_.empty() && column->size() != num_rows()) {
+    return Status::InvalidArgument(
+        "column '" + col_name + "' has " + std::to_string(column->size()) +
+        " rows; table '" + name_ + "' has " + std::to_string(num_rows()));
+  }
+  order_.push_back(col_name);
+  columns_.emplace(col_name, std::move(column));
+  return Status::OK();
+}
+
+Result<Column*> Table::GetColumn(std::string_view column_name) const {
+  const auto it = columns_.find(std::string(column_name));
+  if (it == columns_.end()) {
+    return Status::NotFound("no column '" + std::string(column_name) + "' in table '" +
+                            name_ + "'");
+  }
+  return it->second.get();
+}
+
+std::size_t Table::MemoryUsageBytes() const {
+  std::size_t total = 0;
+  for (const auto& [_, col] : columns_) total += col->MemoryUsageBytes();
+  return total;
+}
+
+}  // namespace aidx

@@ -1,0 +1,63 @@
+// Tables: named collections of equal-length columns.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/column.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace aidx {
+
+/// A table is a bag of equal-length columns addressed by name. Rows are
+/// identified positionally (row_id_t), the column-store convention.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  AIDX_DEFAULT_MOVE_ONLY(Table);
+
+  const std::string& name() const { return name_; }
+  std::size_t num_columns() const { return columns_.size(); }
+  /// Number of rows; 0 for a table with no columns.
+  std::size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_.begin()->second->size();
+  }
+
+  /// Adds a column; fails if the name exists or the length disagrees with
+  /// the table's current row count (unless the table is empty).
+  Status AddColumn(std::unique_ptr<Column> column);
+
+  /// Typed helper: builds and adds a column from a vector in one step.
+  template <ColumnValue T>
+  Status AddColumn(std::string column_name, std::vector<T> values) {
+    return AddColumn(MakeColumn<T>(std::move(column_name), std::move(values)));
+  }
+
+  /// Looks a column up by name.
+  Result<Column*> GetColumn(std::string_view column_name) const;
+
+  /// Typed lookup combining GetColumn and Column::As<T>.
+  template <ColumnValue T>
+  Result<const TypedColumn<T>*> GetTypedColumn(std::string_view column_name) const {
+    AIDX_ASSIGN_OR_RETURN(Column * col, GetColumn(column_name));
+    return static_cast<const Column*>(col)->As<T>();
+  }
+
+  /// Column names in insertion order.
+  const std::vector<std::string>& column_names() const { return order_; }
+
+  /// Total payload bytes across columns.
+  std::size_t MemoryUsageBytes() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> order_;
+  std::unordered_map<std::string, std::unique_ptr<Column>> columns_;
+};
+
+}  // namespace aidx

@@ -1,0 +1,17 @@
+#include "storage/types.h"
+
+namespace aidx {
+
+std::string_view DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat64:
+      return "float64";
+  }
+  return "unknown";
+}
+
+}  // namespace aidx

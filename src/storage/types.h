@@ -1,0 +1,50 @@
+// Type vocabulary of the column-store substrate.
+//
+// The substrate stores fixed-width dense arrays only — the column-store
+// property database cracking relies on (tutorial §2, "Column-Stores").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace aidx {
+
+/// Row identifier within a table (MonetDB's "oid"). 32 bits bounds tables to
+/// ~4.29 billion rows, which comfortably covers the experiment scale while
+/// halving the footprint of oid arrays.
+using row_id_t = std::uint32_t;
+
+/// Physical types supported by the substrate.
+enum class DataType : char {
+  kInt32,
+  kInt64,
+  kFloat64,
+};
+
+std::string_view DataTypeToString(DataType type);
+
+/// Maps a physical C++ type to its DataType tag.
+template <typename T>
+struct TypeTraits;
+
+template <>
+struct TypeTraits<std::int32_t> {
+  static constexpr DataType kType = DataType::kInt32;
+  static constexpr std::string_view kName = "int32";
+};
+template <>
+struct TypeTraits<std::int64_t> {
+  static constexpr DataType kType = DataType::kInt64;
+  static constexpr std::string_view kName = "int64";
+};
+template <>
+struct TypeTraits<double> {
+  static constexpr DataType kType = DataType::kFloat64;
+  static constexpr std::string_view kName = "float64";
+};
+
+/// The concept satisfied by all value types the kernel can crack and index.
+template <typename T>
+concept ColumnValue = requires { TypeTraits<T>::kType; };
+
+}  // namespace aidx

@@ -1,0 +1,297 @@
+// Cracking under updates (Idreos, Kersten, Manegold — SIGMOD 2007,
+// "Updating a Cracked Database").
+//
+// Updates are queued in pending stores and folded into the cracked array
+// *adaptively, during query processing* — the same philosophy as cracking
+// itself: the query that needs a key range pays (only) for bringing that
+// range up to date. Three merge policies are reproduced:
+//
+//   kComplete (MCI): the first query after updates merges the entire
+//       pending set — simple, but spikes that query's latency;
+//   kGradual (MGI): merges what the query needs plus a fixed budget of
+//       additional pending tuples, draining the queue over several queries;
+//   kRipple (MRI): merges exactly the pending tuples the query's range
+//       needs, using ripple moves: inserting a value into piece k shifts
+//       one element per downstream piece boundary instead of shifting the
+//       whole array tail — O(#pieces) element moves per tuple.
+//
+// All three policies use the ripple mechanism for the physical move; they
+// differ in *when* and *how much* they merge, which is what the SIGMOD'07
+// experiments (and bench_e4_updates) compare.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/cracker_column.h"
+#include "core/cut_interval_set.h"
+#include "storage/predicate.h"
+#include "storage/types.h"
+#include "util/logging.h"
+#include "util/macros.h"
+
+namespace aidx {
+
+/// When pending updates get folded into the cracked array.
+enum class MergePolicy : char {
+  kComplete,  // MCI: everything at the next query
+  kGradual,   // MGI: query's range + a fixed extra budget per query
+  kRipple,    // MRI: exactly the query's range
+};
+
+inline const char* MergePolicyName(MergePolicy policy) {
+  switch (policy) {
+    case MergePolicy::kComplete:
+      return "MCI";
+    case MergePolicy::kGradual:
+      return "MGI";
+    case MergePolicy::kRipple:
+      return "MRI";
+  }
+  return "?";
+}
+
+/// Update-merge counters for the benchmark harness.
+struct UpdateStats {
+  std::size_t inserts_queued = 0;
+  std::size_t deletes_queued = 0;
+  std::size_t deletes_cancelled = 0;  // delete hit a still-pending insert
+  std::size_t inserts_merged = 0;
+  std::size_t deletes_merged = 0;
+  std::size_t ripple_element_moves = 0;
+};
+
+/// A cracker column that additionally accepts inserts and deletes.
+///
+/// Row ids are mandatory (deletes address tuples by row id); fresh inserts
+/// receive monotonically increasing row ids.
+template <ColumnValue T>
+class UpdatableCrackerColumn : public CrackerColumn<T> {
+ public:
+  struct Options {
+    MergePolicy policy = MergePolicy::kRipple;
+    /// Extra pending tuples merged per query under kGradual.
+    std::size_t gradual_budget = 64;
+    CrackerColumnOptions crack{};
+  };
+
+  explicit UpdatableCrackerColumn(std::span<const T> base, Options options = {})
+      : CrackerColumn<T>(base, ForceRowIds(options.crack)),
+        options_(options),
+        next_row_id_(static_cast<row_id_t>(base.size())) {}
+
+  /// Queues an insert; returns the new tuple's row id.
+  row_id_t Insert(T value) {
+    const row_id_t rid = next_row_id_++;
+    pending_inserts_.push_back({value, rid});
+    ++stats_.inserts_queued;
+    return rid;
+  }
+
+  /// Queues a delete of the tuple (value, rid). If the tuple is still a
+  /// pending insert the two cancel immediately. Returns false when the
+  /// tuple was already queued for deletion (double delete).
+  bool Delete(T value, row_id_t rid) {
+    for (std::size_t i = 0; i < pending_inserts_.size(); ++i) {
+      if (pending_inserts_[i].rid == rid) {
+        AIDX_DCHECK(pending_inserts_[i].value == value);
+        pending_inserts_[i] = pending_inserts_.back();
+        pending_inserts_.pop_back();
+        ++stats_.deletes_cancelled;
+        return true;
+      }
+    }
+    for (const PendingTuple& d : pending_deletes_) {
+      if (d.rid == rid) return false;
+    }
+    pending_deletes_.push_back({value, rid});
+    ++stats_.deletes_queued;
+    return true;
+  }
+
+  /// Rows matching the predicate, after adaptively merging the pending
+  /// updates the predicate's range requires.
+  std::size_t Count(const RangePredicate<T>& pred) {
+    MergeForQuery(pred);
+    return CrackerColumn<T>::Count(pred);
+  }
+
+  /// Sum of matching values, after adaptive update merging.
+  long double Sum(const RangePredicate<T>& pred) {
+    MergeForQuery(pred);
+    return CrackerColumn<T>::Sum(pred);
+  }
+
+  std::size_t num_pending_inserts() const { return pending_inserts_.size(); }
+  std::size_t num_pending_deletes() const { return pending_deletes_.size(); }
+  const UpdateStats& update_stats() const { return stats_; }
+  MergePolicy policy() const { return options_.policy; }
+
+  /// Piece invariants plus pending-store sanity.
+  bool Validate() const {
+    if (!this->ValidatePieces()) return false;
+    for (const PendingTuple& t : pending_inserts_) {
+      if (t.rid >= next_row_id_) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct PendingTuple {
+    T value;
+    row_id_t rid;
+  };
+
+  static CrackerColumnOptions ForceRowIds(CrackerColumnOptions crack) {
+    crack.with_row_ids = true;
+    return crack;
+  }
+
+  void MergeForQuery(const RangePredicate<T>& pred) {
+    if (pending_inserts_.empty() && pending_deletes_.empty()) return;
+    switch (options_.policy) {
+      case MergePolicy::kComplete:
+        MergeMatching([](const PendingTuple&) { return true; }, 0);
+        break;
+      case MergePolicy::kGradual:
+        MergeMatching([&](const PendingTuple& t) { return pred.Matches(t.value); },
+                      options_.gradual_budget);
+        break;
+      case MergePolicy::kRipple:
+        MergeMatching([&](const PendingTuple& t) { return pred.Matches(t.value); }, 0);
+        break;
+    }
+  }
+
+  /// Merges every pending tuple satisfying `needed`, plus up to `extra`
+  /// additional tuples (oldest first) to drain the queue.
+  template <typename NeedFn>
+  void MergeMatching(NeedFn&& needed, std::size_t extra) {
+    // Deletes first: a delete can only address an already-merged tuple
+    // (insert/delete pairs cancelled at queue time).
+    std::size_t extra_left = extra;
+    for (std::size_t i = 0; i < pending_deletes_.size();) {
+      const bool take = needed(pending_deletes_[i]) ||
+                        (extra_left > 0 && (--extra_left, true));
+      if (!take) {
+        ++i;
+        continue;
+      }
+      RippleDelete(pending_deletes_[i].value, pending_deletes_[i].rid);
+      pending_deletes_[i] = pending_deletes_.back();
+      pending_deletes_.pop_back();
+      ++stats_.deletes_merged;
+    }
+    for (std::size_t i = 0; i < pending_inserts_.size();) {
+      const bool take = needed(pending_inserts_[i]) ||
+                        (extra_left > 0 && (--extra_left, true));
+      if (!take) {
+        ++i;
+        continue;
+      }
+      RippleInsert(pending_inserts_[i].value, pending_inserts_[i].rid);
+      pending_inserts_[i] = pending_inserts_.back();
+      pending_inserts_.pop_back();
+      ++stats_.inserts_merged;
+    }
+  }
+
+  /// Inserts (value, rid) into its piece by cascading one element per
+  /// downstream piece boundary into the slot freed by its right neighbour.
+  void RippleInsert(T value, row_id_t rid) {
+    auto& values = this->mutable_values();
+    auto& rids = this->mutable_row_ids();
+    auto& index = this->mutable_index();
+    const std::size_t old_size = values.size();
+    const PieceInfo<T> piece = index.PieceForValue(value);
+
+    // Boundary positions of every piece to the right of the target piece.
+    std::vector<std::size_t> boundaries;
+    if (piece.upper.has_value()) {
+      index.VisitCutsFrom(*piece.upper, [&](const Cut<T>&, std::size_t& pos) {
+        boundaries.push_back(pos);
+      });
+    }
+    values.push_back(value);  // placeholder; overwritten unless no cascade
+    rids.push_back(rid);
+    std::size_t hole = old_size;
+    for (auto it = boundaries.rbegin(); it != boundaries.rend(); ++it) {
+      const std::size_t b = *it;
+      if (hole != b) {
+        values[hole] = values[b];
+        rids[hole] = rids[b];
+        ++stats_.ripple_element_moves;
+      }
+      hole = b;
+    }
+    values[hole] = value;
+    rids[hole] = rid;
+    if (piece.upper.has_value()) {
+      index.VisitCutsFrom(*piece.upper,
+                          [](const Cut<T>&, std::size_t& pos) { ++pos; });
+    }
+    index.set_column_size(old_size + 1);
+  }
+
+  /// Removes the tuple (value, rid) by cascading the last element of each
+  /// downstream piece into the hole, shrinking the array by one at the end.
+  void RippleDelete(T value, row_id_t rid) {
+    auto& values = this->mutable_values();
+    auto& rids = this->mutable_row_ids();
+    auto& index = this->mutable_index();
+    const std::size_t old_size = values.size();
+    const PieceInfo<T> piece = index.PieceForValue(value);
+
+    // Locate the victim inside its piece.
+    std::size_t pos = piece.end;
+    for (std::size_t i = piece.begin; i < piece.end; ++i) {
+      if (rids[i] == rid) {
+        AIDX_DCHECK(values[i] == value);
+        pos = i;
+        break;
+      }
+    }
+    if (pos == piece.end) return;  // unknown tuple: drop silently (see tests)
+
+    std::vector<std::size_t> boundaries;
+    if (piece.upper.has_value()) {
+      index.VisitCutsFrom(*piece.upper, [&](const Cut<T>&, std::size_t& pos_ref) {
+        boundaries.push_back(pos_ref);
+      });
+    }
+    // Close the hole with the target piece's last element, then cascade:
+    // each downstream piece donates its last element to the position freed
+    // on its left, shifting the piece left by one.
+    std::size_t hole = pos;
+    const auto move_last = [&](std::size_t end) {
+      if (hole != end - 1) {
+        values[hole] = values[end - 1];
+        rids[hole] = rids[end - 1];
+        ++stats_.ripple_element_moves;
+      }
+      hole = end - 1;
+    };
+    move_last(boundaries.empty() ? old_size : boundaries.front());
+    for (std::size_t j = 0; j < boundaries.size(); ++j) {
+      move_last(j + 1 < boundaries.size() ? boundaries[j + 1] : old_size);
+    }
+    AIDX_DCHECK(hole == old_size - 1);
+    values.pop_back();
+    rids.pop_back();
+    if (piece.upper.has_value()) {
+      index.VisitCutsFrom(*piece.upper,
+                          [](const Cut<T>&, std::size_t& pos_ref) { --pos_ref; });
+    }
+    index.set_column_size(old_size - 1);
+  }
+
+  Options options_;
+  std::vector<PendingTuple> pending_inserts_;
+  std::vector<PendingTuple> pending_deletes_;
+  UpdateStats stats_;
+  row_id_t next_row_id_;
+};
+
+}  // namespace aidx

@@ -1,0 +1,81 @@
+// Minimal logging and invariant-checking facility.
+//
+// AIDX_CHECK(cond) << "context";   // fatal in all builds
+// AIDX_DCHECK(cond) << "context";  // fatal in debug builds, elided in NDEBUG
+// AIDX_LOG(INFO) << "message";     // leveled logging to stderr
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "util/macros.h"
+
+namespace aidx {
+namespace internal {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level actually emitted (default: kInfo).
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+/// Accumulates one log line; emits (and aborts, for kFatal) in the destructor.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  AIDX_DISALLOW_COPY_AND_ASSIGN(LogMessage);
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed values when a check/log is compiled out.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace aidx
+
+#define AIDX_LOG_INTERNAL(level) \
+  ::aidx::internal::LogMessage(::aidx::internal::LogLevel::level, __FILE__, __LINE__)
+#define AIDX_LOG(severity) AIDX_LOG_INTERNAL(k##severity)
+
+#define AIDX_CHECK(cond)              \
+  if (AIDX_PREDICT_TRUE(cond)) {      \
+  } else /* NOLINT */                 \
+    AIDX_LOG(Fatal) << "Check failed: " #cond " "
+
+#define AIDX_CHECK_OK(expr)                                           \
+  if (::aidx::Status AIDX_UNIQUE_NAME(_st) = (expr);                  \
+      AIDX_PREDICT_TRUE(AIDX_UNIQUE_NAME(_st).ok())) {                \
+  } else /* NOLINT */                                                 \
+    AIDX_LOG(Fatal) << "Status not OK: " << AIDX_UNIQUE_NAME(_st).ToString() << " "
+
+#define AIDX_CHECK_EQ(a, b) AIDX_CHECK((a) == (b))
+#define AIDX_CHECK_NE(a, b) AIDX_CHECK((a) != (b))
+#define AIDX_CHECK_LT(a, b) AIDX_CHECK((a) < (b))
+#define AIDX_CHECK_LE(a, b) AIDX_CHECK((a) <= (b))
+#define AIDX_CHECK_GT(a, b) AIDX_CHECK((a) > (b))
+#define AIDX_CHECK_GE(a, b) AIDX_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define AIDX_DCHECK(cond) \
+  while (false) ::aidx::internal::NullLog()
+#else
+#define AIDX_DCHECK(cond) AIDX_CHECK(cond)
+#endif

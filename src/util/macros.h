@@ -1,0 +1,26 @@
+// Common helper macros shared across the aidx code base.
+#pragma once
+
+#define AIDX_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;           \
+  TypeName& operator=(const TypeName&) = delete
+
+#define AIDX_DEFAULT_MOVE_ONLY(TypeName)        \
+  AIDX_DISALLOW_COPY_AND_ASSIGN(TypeName);      \
+  TypeName(TypeName&&) noexcept = default;      \
+  TypeName& operator=(TypeName&&) noexcept = default
+
+#if defined(__GNUC__) || defined(__clang__)
+#define AIDX_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#define AIDX_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#define AIDX_FORCE_INLINE inline __attribute__((always_inline))
+#else
+#define AIDX_PREDICT_TRUE(x) (x)
+#define AIDX_PREDICT_FALSE(x) (x)
+#define AIDX_FORCE_INLINE inline
+#endif
+
+// Token pasting helpers used by the Status/Result propagation macros.
+#define AIDX_CONCAT_IMPL(x, y) x##y
+#define AIDX_CONCAT(x, y) AIDX_CONCAT_IMPL(x, y)
+#define AIDX_UNIQUE_NAME(base) AIDX_CONCAT(base, __LINE__)

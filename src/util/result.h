@@ -1,0 +1,70 @@
+// Result<T>: value-or-Status, the return type of fallible value-producing
+// operations (the Arrow idiom).
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace aidx {
+
+/// Holds either a value of type T or a non-OK Status explaining its absence.
+template <typename T>
+class Result {
+ public:
+  /// Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status)                         // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    AIDX_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK Status carries no value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error; OK() if this Result holds a value.
+  Status status() const& {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Value access; callers must check ok() first (checked in all builds).
+  const T& value() const& {
+    AIDX_CHECK(ok()) << "Result::value() on error: " << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    AIDX_CHECK(ok()) << "Result::value() on error: " << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    AIDX_CHECK(ok()) << "Result::value() on error: " << std::get<Status>(repr_).ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? std::get<T>(repr_) : std::move(fallback); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace aidx
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// binds the value to `lhs` (which may include a declaration).
+#define AIDX_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  AIDX_ASSIGN_OR_RETURN_IMPL(AIDX_UNIQUE_NAME(_res), lhs, rexpr)
+
+#define AIDX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr)            \
+  auto tmp = (rexpr);                                          \
+  if (AIDX_PREDICT_FALSE(!tmp.ok())) {                         \
+    return tmp.status();                                       \
+  }                                                            \
+  lhs = std::move(tmp).value()

@@ -1,0 +1,29 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aidx {
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double theta, std::uint64_t seed)
+    : rng_(seed), theta_(theta) {
+  AIDX_CHECK(n > 0) << "ZipfGenerator domain must be non-empty";
+  AIDX_CHECK(theta >= 0.0) << "Zipf theta must be non-negative";
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf_[r] = acc;
+  }
+  const double total = cdf_.back();
+  for (auto& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+std::size_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace aidx

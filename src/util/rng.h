@@ -1,0 +1,104 @@
+// Deterministic pseudo-random number generation.
+//
+// All experiment code seeds explicitly so that every figure in
+// EXPERIMENTS.md is exactly re-generatable. The core generator is
+// xoshiro256**, seeded via SplitMix64 (the reference seeding recipe).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace aidx {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+inline std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(&sm);
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound); bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    AIDX_DCHECK(bound > 0);
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0ULL - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform signed value in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    AIDX_DCHECK(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range.
+    const std::uint64_t draw = span == 0 ? Next() : NextBounded(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::uint64_t s_[4];
+};
+
+/// Zipf-distributed ranks in [0, n): rank r is drawn with probability
+/// proportional to 1/(r+1)^theta. Used by the skewed workload pattern.
+///
+/// Implementation: inverse-CDF over a precomputed cumulative table; O(n)
+/// memory and O(log n) per draw, which is fine for the domain sizes the
+/// workloads use (hot-region counts, not column sizes).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double theta, std::uint64_t seed);
+
+  /// Draws a rank in [0, n); rank 0 is the most popular.
+  std::size_t Next();
+
+  std::size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  Rng rng_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace aidx

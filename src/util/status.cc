@@ -1,0 +1,40 @@
+#include "util/status.h"
+
+namespace aidx {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg)
+    : state_(std::make_unique<State>(State{code, std::move(msg)})) {}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out{StatusCodeToString(state_->code)};
+  if (!state_->msg.empty()) {
+    out += ": ";
+    out += state_->msg;
+  }
+  return out;
+}
+
+}  // namespace aidx

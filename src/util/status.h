@@ -1,0 +1,119 @@
+// Status: the error-reporting vocabulary of the library.
+//
+// Library code does not throw exceptions (per the style rules this project
+// follows); fallible operations return Status, or Result<T> when they also
+// produce a value. Invariant violations that indicate programmer error are
+// handled with AIDX_CHECK (see logging.h), not Status.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace aidx {
+
+/// Machine-readable classification of an error.
+enum class StatusCode : char {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kResourceExhausted = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+};
+
+/// Returns a stable human-readable name for a status code ("Invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: either OK or a code plus message.
+///
+/// The OK state is represented by a null internal pointer, so passing and
+/// returning OK statuses is free of allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Error message; empty for OK statuses.
+  std::string_view message() const {
+    return ok() ? std::string_view{} : std::string_view{state_->msg};
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;  // null == OK
+};
+
+}  // namespace aidx
+
+/// Propagates a non-OK Status to the caller.
+#define AIDX_RETURN_NOT_OK(expr)                            \
+  do {                                                      \
+    ::aidx::Status AIDX_UNIQUE_NAME(_st) = (expr);          \
+    if (AIDX_PREDICT_FALSE(!AIDX_UNIQUE_NAME(_st).ok())) {  \
+      return AIDX_UNIQUE_NAME(_st);                         \
+    }                                                       \
+  } while (false)

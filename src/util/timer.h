@@ -1,0 +1,48 @@
+// Wall-clock timing utilities used by the benchmark harness and the
+// workload runner.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace aidx {
+
+/// Monotonic stopwatch measuring wall-clock time in seconds.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction or the last Restart().
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the lifetime of the scope to an accumulator (in seconds).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* accumulator) : accumulator_(accumulator) {}
+  ~ScopedTimer() { *accumulator_ += timer_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* accumulator_;
+  WallTimer timer_;
+};
+
+}  // namespace aidx

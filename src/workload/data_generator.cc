@@ -1,0 +1,73 @@
+#include "workload/data_generator.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace aidx {
+
+const char* DataDistributionName(DataDistribution dist) {
+  switch (dist) {
+    case DataDistribution::kUniform:
+      return "uniform";
+    case DataDistribution::kPermutation:
+      return "permutation";
+    case DataDistribution::kNearlySorted:
+      return "nearly-sorted";
+    case DataDistribution::kZipfValues:
+      return "zipf-values";
+  }
+  return "?";
+}
+
+std::vector<std::int64_t> GenerateData(const DataSpec& spec) {
+  AIDX_CHECK(spec.domain > 0) << "data domain must be positive";
+  Rng rng(spec.seed);
+  std::vector<std::int64_t> out(spec.n);
+  switch (spec.distribution) {
+    case DataDistribution::kUniform: {
+      for (auto& v : out) {
+        v = static_cast<std::int64_t>(
+            rng.NextBounded(static_cast<std::uint64_t>(spec.domain)));
+      }
+      break;
+    }
+    case DataDistribution::kPermutation: {
+      std::iota(out.begin(), out.end(), std::int64_t{0});
+      // Fisher-Yates.
+      for (std::size_t i = out.size(); i > 1; --i) {
+        const std::size_t j = rng.NextBounded(i);
+        std::swap(out[i - 1], out[j]);
+      }
+      break;
+    }
+    case DataDistribution::kNearlySorted: {
+      std::iota(out.begin(), out.end(), std::int64_t{0});
+      const auto swaps = static_cast<std::size_t>(
+          spec.disorder * static_cast<double>(spec.n));
+      for (std::size_t s = 0; s < swaps && spec.n > 1; ++s) {
+        const std::size_t a = rng.NextBounded(spec.n);
+        const std::size_t b = rng.NextBounded(spec.n);
+        std::swap(out[a], out[b]);
+      }
+      break;
+    }
+    case DataDistribution::kZipfValues: {
+      // Draw ranks from a zipf law over min(domain, 64k) distinct values,
+      // spread across the domain so ranges still select meaningfully.
+      const std::size_t distinct = static_cast<std::size_t>(
+          std::min<std::int64_t>(spec.domain, 1 << 16));
+      ZipfGenerator zipf(distinct, spec.zipf_theta, rng.Next());
+      const std::int64_t stride =
+          std::max<std::int64_t>(1, spec.domain / static_cast<std::int64_t>(distinct));
+      for (auto& v : out) {
+        v = static_cast<std::int64_t>(zipf.Next()) * stride;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace aidx

@@ -1,0 +1,35 @@
+// Synthetic base-column generators for the experiments.
+//
+// The surveyed papers evaluate on columns of (pseudo)random integers; the
+// distributions here cover the cases that stress different aspects of the
+// algorithms: duplicates (small domains), pre-existing order (nearly
+// sorted), and value skew.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aidx {
+
+enum class DataDistribution : char {
+  kUniform,       // uniform over [0, domain)
+  kPermutation,   // random permutation of 0..n-1 (all-distinct, domain = n)
+  kNearlySorted,  // sorted 0..n-1 with a fraction of random swaps
+  kZipfValues,    // value frequencies follow a zipf law (heavy duplicates)
+};
+
+const char* DataDistributionName(DataDistribution dist);
+
+struct DataSpec {
+  std::size_t n = 1 << 22;
+  std::int64_t domain = 1 << 22;      // ignored by kPermutation / kNearlySorted
+  DataDistribution distribution = DataDistribution::kUniform;
+  double disorder = 0.05;             // kNearlySorted: fraction of swapped pairs
+  double zipf_theta = 1.0;            // kZipfValues
+  std::uint64_t seed = 7;
+};
+
+/// Generates a base column per the spec. Deterministic in the seed.
+std::vector<std::int64_t> GenerateData(const DataSpec& spec);
+
+}  // namespace aidx

@@ -1,0 +1,170 @@
+#include "workload/query_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace aidx {
+
+const char* QueryPatternName(QueryPattern pattern) {
+  switch (pattern) {
+    case QueryPattern::kRandom:
+      return "random";
+    case QueryPattern::kSkewed:
+      return "skewed";
+    case QueryPattern::kSequential:
+      return "sequential";
+    case QueryPattern::kPeriodic:
+      return "periodic";
+    case QueryPattern::kZoomIn:
+      return "zoom-in";
+    case QueryPattern::kZoomOut:
+      return "zoom-out";
+    case QueryPattern::kShiftingHotspot:
+      return "shifting-hotspot";
+  }
+  return "?";
+}
+
+namespace {
+
+using Pred = RangePredicate<std::int64_t>;
+
+/// Clamps [lo, lo+width) into the domain and emits the half-open predicate.
+Pred MakeRange(std::int64_t lo, std::int64_t width, std::int64_t domain) {
+  if (width < 1) width = 1;
+  if (lo < 0) lo = 0;
+  if (lo + width > domain) lo = std::max<std::int64_t>(0, domain - width);
+  return Pred::HalfOpen(lo, lo + width);
+}
+
+}  // namespace
+
+std::vector<Pred> GenerateQueries(const WorkloadSpec& spec) {
+  AIDX_CHECK(spec.domain > 0) << "query domain must be positive";
+  AIDX_CHECK(spec.selectivity > 0 && spec.selectivity <= 1.0)
+      << "selectivity must be in (0, 1]";
+  Rng rng(spec.seed);
+  const auto width = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(spec.selectivity * static_cast<double>(spec.domain)));
+  const std::int64_t positions = std::max<std::int64_t>(1, spec.domain - width + 1);
+
+  std::vector<Pred> out;
+  out.reserve(spec.num_queries);
+  switch (spec.pattern) {
+    case QueryPattern::kRandom: {
+      for (std::size_t q = 0; q < spec.num_queries; ++q) {
+        const auto lo = static_cast<std::int64_t>(
+            rng.NextBounded(static_cast<std::uint64_t>(positions)));
+        out.push_back(MakeRange(lo, width, spec.domain));
+      }
+      break;
+    }
+    case QueryPattern::kSkewed: {
+      // Hot positions chosen once, visited with zipf frequency + jitter.
+      const std::size_t hotspots = std::max<std::size_t>(1, spec.num_hotspots);
+      std::vector<std::int64_t> centers(hotspots);
+      for (auto& c : centers) {
+        c = static_cast<std::int64_t>(
+            rng.NextBounded(static_cast<std::uint64_t>(positions)));
+      }
+      ZipfGenerator zipf(hotspots, spec.zipf_theta, rng.Next());
+      for (std::size_t q = 0; q < spec.num_queries; ++q) {
+        const std::int64_t jitter = rng.NextInRange(-width / 2, width / 2);
+        out.push_back(MakeRange(centers[zipf.Next()] + jitter, width, spec.domain));
+      }
+      break;
+    }
+    case QueryPattern::kSequential: {
+      // March left-to-right, wrapping; consecutive ranges abut.
+      const std::int64_t step = width;
+      std::int64_t lo = 0;
+      for (std::size_t q = 0; q < spec.num_queries; ++q) {
+        out.push_back(MakeRange(lo, width, spec.domain));
+        lo += step;
+        if (lo >= spec.domain - width) lo = 0;
+      }
+      break;
+    }
+    case QueryPattern::kPeriodic: {
+      // Round-robin over `period` regions; random position inside a region.
+      const std::size_t period = std::max<std::size_t>(1, spec.period);
+      const std::int64_t region =
+          std::max<std::int64_t>(width, spec.domain / static_cast<std::int64_t>(period));
+      for (std::size_t q = 0; q < spec.num_queries; ++q) {
+        const auto r = static_cast<std::int64_t>(q % period);
+        const std::int64_t base = r * region;
+        const std::int64_t span = std::max<std::int64_t>(1, region - width + 1);
+        const auto lo =
+            base + static_cast<std::int64_t>(
+                       rng.NextBounded(static_cast<std::uint64_t>(span)));
+        out.push_back(MakeRange(lo, width, spec.domain));
+      }
+      break;
+    }
+    case QueryPattern::kZoomIn: {
+      // Repeatedly halve toward a random focus; restart when narrow.
+      std::int64_t lo = 0;
+      std::int64_t hi = spec.domain;
+      std::int64_t focus = spec.domain / 2;
+      for (std::size_t q = 0; q < spec.num_queries; ++q) {
+        if (hi - lo <= 2 * width) {
+          lo = 0;
+          hi = spec.domain;
+          focus = static_cast<std::int64_t>(
+              rng.NextBounded(static_cast<std::uint64_t>(spec.domain)));
+        }
+        out.push_back(Pred::HalfOpen(lo, hi));
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        if (focus < mid) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      break;
+    }
+    case QueryPattern::kZoomOut: {
+      // Start at a narrow range and double outward; restart when wide.
+      std::int64_t focus = spec.domain / 2;
+      std::int64_t half = width / 2 + 1;
+      for (std::size_t q = 0; q < spec.num_queries; ++q) {
+        if (2 * half >= spec.domain) {
+          focus = static_cast<std::int64_t>(
+              rng.NextBounded(static_cast<std::uint64_t>(spec.domain)));
+          half = width / 2 + 1;
+        }
+        out.push_back(MakeRange(focus - half, 2 * half, spec.domain));
+        half *= 2;
+      }
+      break;
+    }
+    case QueryPattern::kShiftingHotspot: {
+      const std::size_t phases = std::max<std::size_t>(1, spec.hotspot_phases);
+      const std::size_t phase_len =
+          std::max<std::size_t>(1, spec.num_queries / phases);
+      const auto region_width = std::max<std::int64_t>(
+          width, static_cast<std::int64_t>(spec.hotspot_width *
+                                           static_cast<double>(spec.domain)));
+      std::int64_t region_lo = 0;
+      for (std::size_t q = 0; q < spec.num_queries; ++q) {
+        if (q % phase_len == 0) {
+          region_lo = static_cast<std::int64_t>(rng.NextBounded(
+              static_cast<std::uint64_t>(
+                  std::max<std::int64_t>(1, spec.domain - region_width))));
+        }
+        const std::int64_t span = std::max<std::int64_t>(1, region_width - width + 1);
+        const auto lo =
+            region_lo + static_cast<std::int64_t>(
+                            rng.NextBounded(static_cast<std::uint64_t>(span)));
+        out.push_back(MakeRange(lo, width, spec.domain));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace aidx

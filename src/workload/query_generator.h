@@ -1,0 +1,63 @@
+// Query-sequence generators: the workload patterns of the adaptive-indexing
+// benchmark (Graefe, Idreos, Kuno, Manegold — TPCTC 2010).
+//
+// Each pattern stresses a different adaptation property:
+//   kRandom     — the canonical pattern; uniform range positions;
+//   kSkewed     — zipf-distributed hot regions (adaptive indexing should
+//                 optimize hot ranges first);
+//   kSequential — ranges march across the domain (worst case for plain
+//                 cracking: every query re-cracks the huge untouched tail);
+//   kPeriodic   — round-robin over k regions (recurring patterns);
+//   kZoomIn     — successively narrowing ranges around a focus point;
+//   kZoomOut    — successively widening ranges from a focus point;
+//   kShiftingHotspot — a hot region that relocates mid-workload (tests
+//                 re-adaptation after workload change).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/predicate.h"
+
+namespace aidx {
+
+enum class QueryPattern : char {
+  kRandom,
+  kSkewed,
+  kSequential,
+  kPeriodic,
+  kZoomIn,
+  kZoomOut,
+  kShiftingHotspot,
+};
+
+const char* QueryPatternName(QueryPattern pattern);
+
+/// All TPCTC-style patterns, for sweeps.
+inline constexpr QueryPattern kAllQueryPatterns[] = {
+    QueryPattern::kRandom,    QueryPattern::kSkewed,
+    QueryPattern::kSequential, QueryPattern::kPeriodic,
+    QueryPattern::kZoomIn,    QueryPattern::kZoomOut,
+    QueryPattern::kShiftingHotspot,
+};
+
+struct WorkloadSpec {
+  QueryPattern pattern = QueryPattern::kRandom;
+  std::size_t num_queries = 10000;
+  /// Key domain the ranges live in: predicates select within [0, domain).
+  std::int64_t domain = 1 << 22;
+  /// Fraction of the domain each range spans (0 < selectivity <= 1).
+  double selectivity = 0.001;
+  // Pattern-specific knobs.
+  double zipf_theta = 1.0;        // kSkewed
+  std::size_t num_hotspots = 100; // kSkewed: distinct hot range positions
+  std::size_t period = 10;        // kPeriodic: number of regions
+  std::size_t hotspot_phases = 4; // kShiftingHotspot: relocations
+  double hotspot_width = 0.1;     // kShiftingHotspot: region width fraction
+  std::uint64_t seed = 13;
+};
+
+/// Generates the predicate sequence for the spec. Deterministic in the seed.
+std::vector<RangePredicate<std::int64_t>> GenerateQueries(const WorkloadSpec& spec);
+
+}  // namespace aidx

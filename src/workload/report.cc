@@ -1,0 +1,141 @@
+#include "workload/report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace aidx {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  AIDX_CHECK(row.size() == header_.size())
+      << "row width " << row.size() << " != header width " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  return std::isdigit(static_cast<unsigned char>(s.front())) != 0 ||
+         s.front() == '-' || s.front() == '+' || s.front() == '.';
+}
+}  // namespace
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      if (LooksNumeric(row[c])) {
+        os << std::setw(static_cast<int>(widths[c])) << std::right << row[c];
+      } else {
+        os << std::setw(static_cast<int>(widths[c])) << std::left << row[c];
+      }
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  if (seconds < 0) seconds = 0;
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  }
+  return buf;
+}
+
+Status WriteCsv(const std::string& path, const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  const auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  write_row(header);
+  for (const auto& row : rows) write_row(row);
+  return Status::OK();
+}
+
+std::vector<std::size_t> LogSpacedIndices(std::size_t n) {
+  std::vector<std::size_t> out;
+  if (n == 0) return out;
+  std::size_t i = 0;
+  while (i < n) {
+    out.push_back(i);
+    if (i + 1 >= n && i != n - 1) break;
+    i = i == 0 ? 1 : i * 2;
+  }
+  if (out.back() != n - 1) out.push_back(n - 1);
+  return out;
+}
+
+void PrintSeriesComparison(std::ostream& os, const std::vector<RunResult>& runs,
+                           const std::string& csv_path) {
+  if (runs.empty()) return;
+  const std::size_t n = runs.front().per_query_seconds.size();
+  std::vector<std::string> header = {"query"};
+  for (const auto& run : runs) header.push_back(run.strategy);
+  TablePrinter table(header);
+  for (const std::size_t i : LogSpacedIndices(n)) {
+    std::vector<std::string> row = {std::to_string(i + 1)};
+    for (const auto& run : runs) {
+      row.push_back(FormatSeconds(run.per_query_seconds[i]));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(os);
+
+  if (!csv_path.empty()) {
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<std::string> row = {std::to_string(i + 1)};
+      for (const auto& run : runs) {
+        std::ostringstream cell;
+        cell << std::setprecision(9) << run.per_query_seconds[i];
+        row.push_back(cell.str());
+      }
+      rows.push_back(std::move(row));
+    }
+    const Status st = WriteCsv(csv_path, header, rows);
+    if (!st.ok()) {
+      AIDX_LOG(Warning) << "CSV not written: " << st.ToString();
+    } else {
+      os << "(full series: " << csv_path << ")\n";
+    }
+  }
+}
+
+}  // namespace aidx

@@ -1,0 +1,47 @@
+// Report writers: aligned ASCII tables on stdout (the "figure" the bench
+// binaries print) and CSV files for re-plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "workload/runner.h"
+
+namespace aidx {
+
+/// Column-aligned ASCII table builder.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Renders with a header rule and right-aligned numeric-looking cells.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1.23ms" / "45.6us" / "7.8s" — human-readable seconds.
+std::string FormatSeconds(double seconds);
+
+/// Writes rows as CSV; the header row first. Returns an error if the file
+/// cannot be opened.
+Status WriteCsv(const std::string& path, const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// Log-spaced query indices (1, 2, 4, ..., n-1) used to down-sample
+/// per-query series for printing.
+std::vector<std::size_t> LogSpacedIndices(std::size_t n);
+
+/// Prints per-query response-time series of several runs side by side at
+/// log-spaced indices, then writes the full series to `csv_path` (pass ""
+/// to skip the CSV).
+void PrintSeriesComparison(std::ostream& os, const std::vector<RunResult>& runs,
+                           const std::string& csv_path);
+
+}  // namespace aidx

@@ -1,0 +1,62 @@
+#include "workload/runner.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace aidx {
+
+double RunResult::total_seconds() const {
+  return std::accumulate(per_query_seconds.begin(), per_query_seconds.end(), 0.0);
+}
+
+double RunResult::first_query_seconds() const {
+  return per_query_seconds.empty() ? 0.0 : per_query_seconds.front();
+}
+
+double RunResult::cumulative_average(std::size_t i) const {
+  AIDX_CHECK(i < per_query_seconds.size());
+  const double sum =
+      std::accumulate(per_query_seconds.begin(),
+                      per_query_seconds.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                      0.0);
+  return sum / static_cast<double>(i + 1);
+}
+
+double RunResult::tail_mean(std::size_t window) const {
+  if (per_query_seconds.empty()) return 0.0;
+  const std::size_t w = std::min(window, per_query_seconds.size());
+  const double sum = std::accumulate(per_query_seconds.end() - static_cast<std::ptrdiff_t>(w),
+                                     per_query_seconds.end(), 0.0);
+  return sum / static_cast<double>(w);
+}
+
+RunResult RunWorkload(
+    const std::function<std::unique_ptr<AccessPath<std::int64_t>>()>& factory,
+    std::span<const RangePredicate<std::int64_t>> queries, std::string strategy_name,
+    std::string workload_name) {
+  RunResult result;
+  result.strategy = std::move(strategy_name);
+  result.workload = std::move(workload_name);
+  result.per_query_seconds.reserve(queries.size());
+  std::unique_ptr<AccessPath<std::int64_t>> path;
+  for (const auto& pred : queries) {
+    WallTimer timer;
+    if (path == nullptr) path = factory();  // init charged to first query
+    const std::size_t count = path->Count(pred);
+    result.per_query_seconds.push_back(timer.ElapsedSeconds());
+    result.count_checksum += count;
+  }
+  return result;
+}
+
+RunResult RunWorkload(std::span<const std::int64_t> base, const StrategyConfig& config,
+                      std::span<const RangePredicate<std::int64_t>> queries,
+                      std::string workload_name) {
+  return RunWorkload(
+      [base, config]() { return MakeAccessPath<std::int64_t>(base, config); }, queries,
+      config.DisplayName(), std::move(workload_name));
+}
+
+}  // namespace aidx

@@ -1,0 +1,47 @@
+// The workload runner: executes a predicate sequence against one strategy,
+// recording per-query wall-clock times — the raw series behind every
+// figure in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exec/access_path.h"
+#include "storage/predicate.h"
+
+namespace aidx {
+
+/// One strategy's run over one workload.
+struct RunResult {
+  std::string strategy;
+  std::string workload;
+  std::vector<double> per_query_seconds;
+  /// Sum of all result counts: equal across strategies iff they agree.
+  std::uint64_t count_checksum = 0;
+
+  double total_seconds() const;
+  double first_query_seconds() const;
+  /// Cumulative average cost of the first `i+1` queries.
+  double cumulative_average(std::size_t i) const;
+  /// Mean of the final `window` queries (steady-state estimate).
+  double tail_mean(std::size_t window) const;
+};
+
+/// Runs `queries` against a lazily built access path. The factory runs
+/// inside the first query's timing window, so initialization (copying,
+/// sorting runs, ...) is charged to the first query, as in the papers.
+RunResult RunWorkload(
+    const std::function<std::unique_ptr<AccessPath<std::int64_t>>()>& factory,
+    std::span<const RangePredicate<std::int64_t>> queries, std::string strategy_name,
+    std::string workload_name);
+
+/// Convenience overload: build the path from a borrowed column + config.
+RunResult RunWorkload(std::span<const std::int64_t> base, const StrategyConfig& config,
+                      std::span<const RangePredicate<std::int64_t>> queries,
+                      std::string workload_name);
+
+}  // namespace aidx

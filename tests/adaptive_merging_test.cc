@@ -1,0 +1,192 @@
+// Adaptive merging: oracle-differential correctness, convergence behaviour,
+// and conservation invariants across run sizes (parameterized).
+#include "core/adaptive_merging.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "index/scan.h"
+#include "util/rng.h"
+
+namespace aidx {
+namespace {
+
+using Pred = RangePredicate<std::int64_t>;
+using Index = AdaptiveMergingIndex<std::int64_t>;
+
+std::vector<std::int64_t> RandomValues(std::size_t n, std::int64_t domain,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.NextBounded(domain));
+  return v;
+}
+
+TEST(AdaptiveMergingTest, BuildCreatesSortedRuns) {
+  const auto base = RandomValues(1000, 500, 1);
+  Index idx(base, {.run_size = 100});
+  EXPECT_EQ(idx.num_runs(), 10u);
+  EXPECT_TRUE(idx.Validate());
+  EXPECT_FALSE(idx.fully_merged());
+}
+
+TEST(AdaptiveMergingTest, FirstQueryCorrect) {
+  const auto base = RandomValues(1000, 500, 2);
+  Index idx(base, {.run_size = 128});
+  const auto p = Pred::Between(100, 200);
+  EXPECT_EQ(idx.Count(p), ScanCount<std::int64_t>(base, p));
+  EXPECT_TRUE(idx.Validate());
+  EXPECT_GT(idx.stats().values_merged, 0u);
+}
+
+TEST(AdaptiveMergingTest, RepeatQueryTouchesNoRuns) {
+  const auto base = RandomValues(1000, 500, 3);
+  Index idx(base, {.run_size = 128});
+  const auto p = Pred::Between(100, 200);
+  const std::size_t first = idx.Count(p);
+  const std::size_t merged_after_first = idx.stats().values_merged;
+  const std::size_t merge_queries_after_first = idx.stats().merge_queries;
+  EXPECT_EQ(idx.Count(p), first);
+  EXPECT_EQ(idx.Count(Pred::Between(120, 180)),
+            ScanCount<std::int64_t>(base, Pred::Between(120, 180)));
+  // Sub-ranges of a merged range require no further merging.
+  EXPECT_EQ(idx.stats().values_merged, merged_after_first);
+  EXPECT_EQ(idx.stats().merge_queries, merge_queries_after_first);
+}
+
+TEST(AdaptiveMergingTest, PartialOverlapMergesOnlyGap) {
+  const auto base = RandomValues(2000, 1000, 4);
+  Index idx(base, {.run_size = 256});
+  ASSERT_EQ(idx.Count(Pred::HalfOpen(100, 200)),
+            ScanCount<std::int64_t>(base, Pred::HalfOpen(100, 200)));
+  const std::size_t merged_first = idx.stats().values_merged;
+  // Overlapping query: only [200, 300) should move now.
+  ASSERT_EQ(idx.Count(Pred::HalfOpen(150, 300)),
+            ScanCount<std::int64_t>(base, Pred::HalfOpen(150, 300)));
+  const std::size_t merged_second = idx.stats().values_merged - merged_first;
+  EXPECT_EQ(merged_second,
+            ScanCount<std::int64_t>(base, Pred::HalfOpen(200, 300)));
+  EXPECT_TRUE(idx.Validate());
+}
+
+TEST(AdaptiveMergingTest, FullDomainQueryMergesEverything) {
+  const auto base = RandomValues(1500, 300, 5);
+  Index idx(base, {.run_size = 100});
+  EXPECT_EQ(idx.Count(Pred::All()), base.size());
+  EXPECT_TRUE(idx.fully_merged());
+  EXPECT_EQ(idx.stats().runs_exhausted, idx.num_runs());
+  EXPECT_TRUE(idx.Validate());
+  // Still correct afterwards.
+  const auto p = Pred::Between(50, 150);
+  EXPECT_EQ(idx.Count(p), ScanCount<std::int64_t>(base, p));
+}
+
+TEST(AdaptiveMergingTest, SumAndMaterializeMatchOracle) {
+  const auto base = RandomValues(3000, 700, 6);
+  Index idx(base, {.run_size = 512});
+  const auto p = Pred::Between(100, 400);
+  EXPECT_DOUBLE_EQ(static_cast<double>(idx.Sum(p)),
+                   static_cast<double>(ScanSum<std::int64_t>(base, p)));
+  std::vector<std::int64_t> values;
+  std::vector<row_id_t> rids;
+  idx.Materialize(p, &values, &rids);
+  ASSERT_EQ(values.size(), rids.size());
+  EXPECT_TRUE(std::is_sorted(values.begin(), values.end()));
+  // Row ids must point back at matching base positions.
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(values[i], base[rids[i]]);
+  }
+  std::vector<std::int64_t> expect;
+  ScanValues<std::int64_t>(base, p, &expect);
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(values, expect);
+}
+
+TEST(AdaptiveMergingTest, DuplicatesAcrossRunBoundaries) {
+  std::vector<std::int64_t> base(900, 42);
+  for (std::size_t i = 0; i < 300; ++i) base[i * 3] = 7;
+  Index idx(base, {.run_size = 64});
+  EXPECT_EQ(idx.Count(Pred::Between(42, 42)), 600u);
+  EXPECT_EQ(idx.Count(Pred::Between(7, 7)), 300u);
+  EXPECT_EQ(idx.Count(Pred::All()), 900u);
+  EXPECT_TRUE(idx.fully_merged());
+  EXPECT_TRUE(idx.Validate());
+}
+
+TEST(AdaptiveMergingTest, EmptyColumnAndEmptyPredicate) {
+  Index idx(std::span<const std::int64_t>{}, {.run_size = 16});
+  EXPECT_EQ(idx.num_runs(), 0u);
+  EXPECT_EQ(idx.Count(Pred::Between(1, 5)), 0u);
+  const auto base = RandomValues(100, 50, 7);
+  Index idx2(base, {.run_size = 16});
+  EXPECT_EQ(idx2.Count(Pred::Between(9, 3)), 0u);
+  EXPECT_EQ(idx2.stats().values_merged, 0u);
+}
+
+TEST(AdaptiveMergingTest, WithoutRowIds) {
+  const auto base = RandomValues(1000, 200, 8);
+  Index idx(base, {.run_size = 128, .with_row_ids = false});
+  const auto p = Pred::Between(50, 120);
+  EXPECT_EQ(idx.Count(p), ScanCount<std::int64_t>(base, p));
+  EXPECT_TRUE(idx.Validate());
+}
+
+class AdaptiveMergingRunSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdaptiveMergingRunSizeTest, OracleDifferentialSweep) {
+  const std::size_t run_size = GetParam();
+  const auto base = RandomValues(5000, 2000, 100 + run_size);
+  Index idx(base, {.run_size = run_size});
+  Rng rng(9);
+  for (int q = 0; q < 300; ++q) {
+    const std::int64_t a = rng.NextInRange(-5, 2005);
+    const std::int64_t w = rng.NextInRange(0, 200);
+    Pred p;
+    switch (rng.NextBounded(5)) {
+      case 0: p = Pred::Between(a, a + w); break;
+      case 1: p = Pred::HalfOpen(a, a + w); break;
+      case 2: p = Pred{a, BoundKind::kExclusive, a + w, BoundKind::kExclusive}; break;
+      case 3: p = Pred::AtLeast(a); break;
+      default: p = Pred::AtMost(a); break;
+    }
+    ASSERT_EQ(idx.Count(p), ScanCount<std::int64_t>(base, p))
+        << "q" << q << " " << p.ToString();
+  }
+  EXPECT_TRUE(idx.Validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(RunSizes, AdaptiveMergingRunSizeTest,
+                         ::testing::Values(1, 7, 64, 500, 5000, 20000),
+                         [](const auto& info) {
+                           return "run" + std::to_string(info.param);
+                         });
+
+TEST(AdaptiveMergingTest, ConvergesToTreeOnlyQueries) {
+  const auto base = RandomValues(20000, 10000, 10);
+  Index idx(base, {.run_size = 2048});
+  Rng rng(11);
+  for (int q = 0; q < 400; ++q) {
+    const auto a = static_cast<std::int64_t>(rng.NextBounded(10000));
+    idx.Count(Pred::Between(a, a + 100));
+  }
+  // After many random queries most of the domain has merged; fresh queries
+  // over merged ranges must not trigger merge work.
+  const std::size_t merge_queries_before = idx.stats().merge_queries;
+  const std::size_t count = idx.Count(Pred::Between(4000, 4005));
+  EXPECT_EQ(count, ScanCount<std::int64_t>(base, Pred::Between(4000, 4005)));
+  // (The specific range may or may not be merged; run a few to find one.)
+  std::size_t no_merge_queries = 0;
+  for (int q = 0; q < 50; ++q) {
+    const auto a = static_cast<std::int64_t>(rng.NextBounded(9000));
+    const std::size_t before = idx.stats().merge_queries;
+    idx.Count(Pred::Between(a, a + 10));
+    if (idx.stats().merge_queries == before) ++no_merge_queries;
+  }
+  EXPECT_GT(no_merge_queries, 25u) << "expected most queries to hit merged ranges";
+  (void)merge_queries_before;
+}
+
+}  // namespace
+}  // namespace aidx

@@ -1,0 +1,229 @@
+// Partition invariants of crack-in-two / crack-in-three, including
+// row-id tandem movement, duplicates, and randomized sweeps.
+#include "core/crack_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace aidx {
+namespace {
+
+using I64Cut = Cut<std::int64_t>;
+
+std::vector<std::int64_t> RandomValues(std::size_t n, std::int64_t domain,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.NextBounded(domain));
+  return v;
+}
+
+TEST(CutTest, BelowSemantics) {
+  const I64Cut less{5, CutKind::kLess};
+  EXPECT_TRUE(less.Below(4));
+  EXPECT_FALSE(less.Below(5));
+  const I64Cut less_eq{5, CutKind::kLessEq};
+  EXPECT_TRUE(less_eq.Below(5));
+  EXPECT_FALSE(less_eq.Below(6));
+}
+
+TEST(CutTest, OrderingValueThenKind) {
+  const I64Cut a{5, CutKind::kLess};
+  const I64Cut b{5, CutKind::kLessEq};
+  const I64Cut c{6, CutKind::kLess};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+  EXPECT_FALSE(b < a);
+  EXPECT_EQ(a, (I64Cut{5, CutKind::kLess}));
+}
+
+TEST(CutsForPredicateTest, AllFourBoundForms) {
+  using P = RangePredicate<std::int64_t>;
+  auto cuts = CutsForPredicate(P::Between(3, 8));
+  EXPECT_TRUE(cuts.has_lower);
+  EXPECT_EQ(cuts.lower, (I64Cut{3, CutKind::kLess}));
+  EXPECT_TRUE(cuts.has_upper);
+  EXPECT_EQ(cuts.upper, (I64Cut{8, CutKind::kLessEq}));
+
+  cuts = CutsForPredicate(P{3, BoundKind::kExclusive, 8, BoundKind::kExclusive});
+  EXPECT_EQ(cuts.lower, (I64Cut{3, CutKind::kLessEq}));
+  EXPECT_EQ(cuts.upper, (I64Cut{8, CutKind::kLess}));
+
+  cuts = CutsForPredicate(P::AtLeast(3));
+  EXPECT_TRUE(cuts.has_lower);
+  EXPECT_FALSE(cuts.has_upper);
+
+  cuts = CutsForPredicate(P::LessThan(8));
+  EXPECT_FALSE(cuts.has_lower);
+  EXPECT_EQ(cuts.upper, (I64Cut{8, CutKind::kLess}));
+}
+
+void ExpectTwoWayPartitioned(const std::vector<std::int64_t>& v, std::size_t split,
+                             const I64Cut& cut) {
+  for (std::size_t i = 0; i < split; ++i) {
+    ASSERT_TRUE(cut.Below(v[i])) << "position " << i << " value " << v[i];
+  }
+  for (std::size_t i = split; i < v.size(); ++i) {
+    ASSERT_FALSE(cut.Below(v[i])) << "position " << i << " value " << v[i];
+  }
+}
+
+TEST(CrackInTwoTest, BasicPartition) {
+  std::vector<std::int64_t> v = {5, 2, 8, 1, 9, 3, 7};
+  const I64Cut cut{5, CutKind::kLess};
+  const std::size_t split = CrackInTwo<std::int64_t>(v, {}, cut);
+  EXPECT_EQ(split, 3u);  // 2, 1, 3
+  ExpectTwoWayPartitioned(v, split, cut);
+}
+
+TEST(CrackInTwoTest, PreservesMultiset) {
+  auto v = RandomValues(1000, 100, 5);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  CrackInTwo<std::int64_t>(v, {}, {50, CutKind::kLess});
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, expected);
+}
+
+TEST(CrackInTwoTest, AllBelow) {
+  std::vector<std::int64_t> v = {1, 2, 3};
+  EXPECT_EQ(CrackInTwo<std::int64_t>(v, {}, {10, CutKind::kLess}), 3u);
+}
+
+TEST(CrackInTwoTest, NoneBelow) {
+  std::vector<std::int64_t> v = {11, 12, 13};
+  EXPECT_EQ(CrackInTwo<std::int64_t>(v, {}, {10, CutKind::kLess}), 0u);
+}
+
+TEST(CrackInTwoTest, EmptyInput) {
+  std::vector<std::int64_t> v;
+  EXPECT_EQ(CrackInTwo<std::int64_t>(v, {}, {10, CutKind::kLess}), 0u);
+}
+
+TEST(CrackInTwoTest, SingleElement) {
+  std::vector<std::int64_t> v = {10};
+  EXPECT_EQ(CrackInTwo<std::int64_t>(v, {}, {10, CutKind::kLess}), 0u);
+  EXPECT_EQ(CrackInTwo<std::int64_t>(v, {}, {10, CutKind::kLessEq}), 1u);
+}
+
+TEST(CrackInTwoTest, AllDuplicatesLessVsLessEq) {
+  std::vector<std::int64_t> v(100, 7);
+  EXPECT_EQ(CrackInTwo<std::int64_t>(v, {}, {7, CutKind::kLess}), 0u);
+  EXPECT_EQ(CrackInTwo<std::int64_t>(v, {}, {7, CutKind::kLessEq}), 100u);
+}
+
+TEST(CrackInTwoTest, RowIdsMoveInTandem) {
+  std::vector<std::int64_t> v = {5, 2, 8, 1};
+  const std::vector<std::int64_t> original = v;
+  std::vector<row_id_t> rids(v.size());
+  std::iota(rids.begin(), rids.end(), row_id_t{0});
+  CrackInTwo<std::int64_t>(v, std::span<row_id_t>(rids), {5, CutKind::kLess});
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i], original[rids[i]]) << "tandem broken at " << i;
+  }
+}
+
+TEST(CrackInThreeTest, BasicThreeWay) {
+  std::vector<std::int64_t> v = {5, 2, 8, 1, 9, 3, 7, 6};
+  const I64Cut lo{3, CutKind::kLess};   // below: v < 3
+  const I64Cut hi{7, CutKind::kLessEq}; // middle: 3 <= v <= 7
+  const ThreeWaySplit s = CrackInThree<std::int64_t>(v, {}, lo, hi);
+  EXPECT_EQ(s.lower_end, 2u);   // 2, 1
+  EXPECT_EQ(s.middle_end, 6u);  // 5, 3, 7, 6
+  for (std::size_t i = 0; i < s.lower_end; ++i) ASSERT_LT(v[i], 3);
+  for (std::size_t i = s.lower_end; i < s.middle_end; ++i) {
+    ASSERT_GE(v[i], 3);
+    ASSERT_LE(v[i], 7);
+  }
+  for (std::size_t i = s.middle_end; i < v.size(); ++i) ASSERT_GT(v[i], 7);
+}
+
+TEST(CrackInThreeTest, EmptyMiddle) {
+  std::vector<std::int64_t> v = {1, 9, 2, 8};
+  const ThreeWaySplit s =
+      CrackInThree<std::int64_t>(v, {}, {5, CutKind::kLess}, {5, CutKind::kLessEq});
+  EXPECT_EQ(s.lower_end, s.middle_end);  // no value == 5
+}
+
+TEST(CrackInThreeTest, RowIdsMoveInTandem) {
+  auto v = RandomValues(500, 50, 21);
+  const auto original = v;
+  std::vector<row_id_t> rids(v.size());
+  std::iota(rids.begin(), rids.end(), row_id_t{0});
+  CrackInThree<std::int64_t>(v, std::span<row_id_t>(rids), {10, CutKind::kLess},
+                             {40, CutKind::kLessEq});
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(v[i], original[rids[i]]);
+  }
+}
+
+struct SweepParam {
+  std::size_t n;
+  std::int64_t domain;
+};
+
+class CrackOpsSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(CrackOpsSweepTest, CrackInTwoRandomizedInvariants) {
+  const auto [n, domain] = GetParam();
+  Rng rng(n * 31 + static_cast<std::uint64_t>(domain));
+  for (int trial = 0; trial < 30; ++trial) {
+    auto v = RandomValues(n, domain, rng.Next());
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    const I64Cut cut{static_cast<std::int64_t>(rng.NextBounded(
+                         static_cast<std::uint64_t>(domain) + 2)) - 1,
+                     rng.NextBounded(2) == 0 ? CutKind::kLess : CutKind::kLessEq};
+    const std::size_t split = CrackInTwo<std::int64_t>(v, {}, cut);
+    ExpectTwoWayPartitioned(v, split, cut);
+    std::sort(v.begin(), v.end());
+    ASSERT_EQ(v, sorted) << "multiset changed";
+  }
+}
+
+TEST_P(CrackOpsSweepTest, CrackInThreeRandomizedInvariants) {
+  const auto [n, domain] = GetParam();
+  Rng rng(n * 37 + static_cast<std::uint64_t>(domain));
+  for (int trial = 0; trial < 30; ++trial) {
+    auto v = RandomValues(n, domain, rng.Next());
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    std::int64_t a = static_cast<std::int64_t>(rng.NextBounded(
+        static_cast<std::uint64_t>(domain)));
+    std::int64_t b = static_cast<std::int64_t>(rng.NextBounded(
+        static_cast<std::uint64_t>(domain)));
+    if (a > b) std::swap(a, b);
+    const I64Cut lo{a, CutKind::kLess};
+    const I64Cut hi{b, CutKind::kLessEq};
+    const ThreeWaySplit s = CrackInThree<std::int64_t>(v, {}, lo, hi);
+    ASSERT_LE(s.lower_end, s.middle_end);
+    ASSERT_LE(s.middle_end, v.size());
+    for (std::size_t i = 0; i < s.lower_end; ++i) ASSERT_TRUE(lo.Below(v[i]));
+    for (std::size_t i = s.lower_end; i < s.middle_end; ++i) {
+      ASSERT_FALSE(lo.Below(v[i]));
+      ASSERT_TRUE(hi.Below(v[i]));
+    }
+    for (std::size_t i = s.middle_end; i < v.size(); ++i) ASSERT_FALSE(hi.Below(v[i]));
+    std::sort(v.begin(), v.end());
+    ASSERT_EQ(v, sorted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDomains, CrackOpsSweepTest,
+    ::testing::Values(SweepParam{1, 10}, SweepParam{2, 2}, SweepParam{100, 3},
+                      SweepParam{1000, 10}, SweepParam{1000, 1000000},
+                      SweepParam{4096, 64}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_d" +
+             std::to_string(info.param.domain);
+    });
+
+}  // namespace
+}  // namespace aidx

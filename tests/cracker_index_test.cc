@@ -1,0 +1,160 @@
+#include "core/cracker_index.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace aidx {
+namespace {
+
+using I64Cut = Cut<std::int64_t>;
+using Index = CrackerIndex<std::int64_t>;
+
+TEST(CrackerIndexTest, FreshIndexIsOnePiece) {
+  Index idx(100);
+  EXPECT_EQ(idx.num_cuts(), 0u);
+  EXPECT_EQ(idx.num_pieces(), 1u);
+  const auto look = idx.Lookup({50, CutKind::kLess});
+  EXPECT_FALSE(look.exact);
+  EXPECT_EQ(look.piece.begin, 0u);
+  EXPECT_EQ(look.piece.end, 100u);
+  EXPECT_FALSE(look.piece.lower.has_value());
+  EXPECT_FALSE(look.piece.upper.has_value());
+}
+
+TEST(CrackerIndexTest, AddCutThenExactLookup) {
+  Index idx(100);
+  idx.AddCut({50, CutKind::kLess}, 42);
+  const auto look = idx.Lookup({50, CutKind::kLess});
+  EXPECT_TRUE(look.exact);
+  EXPECT_EQ(look.position, 42u);
+  EXPECT_EQ(idx.num_pieces(), 2u);
+}
+
+TEST(CrackerIndexTest, LookupIdentifiesEnclosingPiece) {
+  Index idx(100);
+  idx.AddCut({30, CutKind::kLess}, 25);
+  idx.AddCut({70, CutKind::kLess}, 80);
+  const auto mid = idx.Lookup({50, CutKind::kLess});
+  EXPECT_FALSE(mid.exact);
+  EXPECT_EQ(mid.piece.begin, 25u);
+  EXPECT_EQ(mid.piece.end, 80u);
+  ASSERT_TRUE(mid.piece.lower.has_value());
+  EXPECT_EQ(*mid.piece.lower, (I64Cut{30, CutKind::kLess}));
+  ASSERT_TRUE(mid.piece.upper.has_value());
+  EXPECT_EQ(*mid.piece.upper, (I64Cut{70, CutKind::kLess}));
+
+  const auto left = idx.Lookup({10, CutKind::kLess});
+  EXPECT_EQ(left.piece.begin, 0u);
+  EXPECT_EQ(left.piece.end, 25u);
+
+  const auto right = idx.Lookup({90, CutKind::kLessEq});
+  EXPECT_EQ(right.piece.begin, 80u);
+  EXPECT_EQ(right.piece.end, 100u);
+}
+
+TEST(CrackerIndexTest, LessAndLessEqCutsCoexist) {
+  Index idx(100);
+  idx.AddCut({50, CutKind::kLess}, 40);
+  idx.AddCut({50, CutKind::kLessEq}, 45);  // 5 values equal to 50
+  EXPECT_TRUE(idx.Lookup({50, CutKind::kLess}).exact);
+  EXPECT_TRUE(idx.Lookup({50, CutKind::kLessEq}).exact);
+  EXPECT_EQ(idx.Lookup({50, CutKind::kLess}).position, 40u);
+  EXPECT_EQ(idx.Lookup({50, CutKind::kLessEq}).position, 45u);
+  EXPECT_TRUE(idx.Validate());
+}
+
+TEST(CrackerIndexTest, PieceForValueRespectsCutKinds) {
+  Index idx(100);
+  idx.AddCut({50, CutKind::kLess}, 40);    // [0,40) < 50, [40,..) >= 50
+  idx.AddCut({50, CutKind::kLessEq}, 45);  // [0,45) <= 50, [45,..) > 50
+  // Value 49 must land before position 40.
+  auto piece = idx.PieceForValue(49);
+  EXPECT_EQ(piece.end, 40u);
+  // Value 50 must land in [40, 45).
+  piece = idx.PieceForValue(50);
+  EXPECT_EQ(piece.begin, 40u);
+  EXPECT_EQ(piece.end, 45u);
+  // Value 51 lands after 45.
+  piece = idx.PieceForValue(51);
+  EXPECT_EQ(piece.begin, 45u);
+  EXPECT_EQ(piece.end, 100u);
+}
+
+TEST(CrackerIndexTest, VisitPiecesCoversWholeArray) {
+  Index idx(100);
+  idx.AddCut({30, CutKind::kLess}, 25);
+  idx.AddCut({70, CutKind::kLessEq}, 80);
+  std::vector<PieceInfo<std::int64_t>> pieces;
+  idx.VisitPieces([&](const PieceInfo<std::int64_t>& p) { pieces.push_back(p); });
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0].begin, 0u);
+  EXPECT_EQ(pieces[0].end, 25u);
+  EXPECT_FALSE(pieces[0].lower.has_value());
+  EXPECT_EQ(pieces[1].begin, 25u);
+  EXPECT_EQ(pieces[1].end, 80u);
+  EXPECT_EQ(pieces[2].begin, 80u);
+  EXPECT_EQ(pieces[2].end, 100u);
+  EXPECT_FALSE(pieces[2].upper.has_value());
+}
+
+TEST(CrackerIndexTest, VisitCutsFromShiftsPositions) {
+  Index idx(100);
+  idx.AddCut({10, CutKind::kLess}, 10);
+  idx.AddCut({20, CutKind::kLess}, 20);
+  idx.AddCut({30, CutKind::kLess}, 30);
+  // Shift all cuts at/after (20, kLess) by +5 (ripple-insert bookkeeping).
+  idx.VisitCutsFrom({20, CutKind::kLess},
+                    [](const I64Cut&, std::size_t& pos) { pos += 5; });
+  EXPECT_EQ(idx.Lookup({10, CutKind::kLess}).position, 10u);
+  EXPECT_EQ(idx.Lookup({20, CutKind::kLess}).position, 25u);
+  EXPECT_EQ(idx.Lookup({30, CutKind::kLess}).position, 35u);
+}
+
+TEST(CrackerIndexTest, EraseCutMergesPieces) {
+  Index idx(100);
+  idx.AddCut({30, CutKind::kLess}, 25);
+  idx.AddCut({70, CutKind::kLess}, 80);
+  EXPECT_TRUE(idx.EraseCut({30, CutKind::kLess}));
+  EXPECT_FALSE(idx.EraseCut({30, CutKind::kLess}));
+  EXPECT_EQ(idx.num_pieces(), 2u);
+  const auto look = idx.Lookup({50, CutKind::kLess});
+  EXPECT_EQ(look.piece.begin, 0u);
+  EXPECT_EQ(look.piece.end, 80u);
+}
+
+TEST(CrackerIndexTest, ValidateCatchesNonMonotonePositions) {
+  Index idx(100);
+  idx.AddCut({30, CutKind::kLess}, 60);
+  idx.AddCut({70, CutKind::kLess}, 40);  // position regressed: invalid
+  EXPECT_FALSE(idx.Validate());
+}
+
+TEST(CrackerIndexTest, ColumnSizeGrowth) {
+  Index idx(100);
+  idx.AddCut({50, CutKind::kLess}, 40);
+  idx.set_column_size(110);
+  const auto look = idx.Lookup({90, CutKind::kLess});
+  EXPECT_EQ(look.piece.end, 110u);
+}
+
+TEST(CrackerIndexTest, ZeroWidthPieces) {
+  Index idx(10);
+  idx.AddCut({5, CutKind::kLess}, 4);
+  idx.AddCut({5, CutKind::kLessEq}, 4);  // no values equal 5
+  const auto look = idx.Lookup({5, CutKind::kLessEq});
+  EXPECT_TRUE(look.exact);
+  EXPECT_EQ(look.position, 4u);
+  EXPECT_TRUE(idx.Validate());
+}
+
+TEST(CrackerIndexTest, EmptyColumn) {
+  Index idx(0);
+  const auto look = idx.Lookup({5, CutKind::kLess});
+  EXPECT_FALSE(look.exact);
+  EXPECT_EQ(look.piece.begin, 0u);
+  EXPECT_EQ(look.piece.end, 0u);
+}
+
+}  // namespace
+}  // namespace aidx

@@ -1,0 +1,199 @@
+// CutIntervalSet: union/subtraction semantics in cut space, including the
+// inclusive/exclusive boundary cases that motivate cut-space bookkeeping.
+#include "core/cut_interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace aidx {
+namespace {
+
+using I64Cut = Cut<std::int64_t>;
+using Range = CutRange<std::int64_t>;
+using Set = CutIntervalSet<std::int64_t>;
+
+Range R(std::int64_t lo, std::int64_t hi) {
+  // Convention for these tests: [lo, hi) in value space.
+  return {{lo, CutKind::kLess}, {hi, CutKind::kLess}};
+}
+
+TEST(CutRangeTest, ContainsRespectsCutKinds) {
+  const Range r{{3, CutKind::kLess}, {7, CutKind::kLessEq}};  // [3, 7]
+  EXPECT_FALSE(r.Contains(2));
+  EXPECT_TRUE(r.Contains(3));
+  EXPECT_TRUE(r.Contains(7));
+  EXPECT_FALSE(r.Contains(8));
+  const Range open{{3, CutKind::kLessEq}, {7, CutKind::kLess}};  // (3, 7)
+  EXPECT_FALSE(open.Contains(3));
+  EXPECT_TRUE(open.Contains(4));
+  EXPECT_FALSE(open.Contains(7));
+}
+
+TEST(CutRangeTest, EmptyDetection) {
+  EXPECT_TRUE(R(5, 5).Empty());
+  EXPECT_TRUE(R(6, 5).Empty());
+  EXPECT_FALSE(R(5, 6).Empty());
+  // (5, kLess) .. (5, kLessEq) admits exactly v == 5: non-empty.
+  const Range just_five{{5, CutKind::kLess}, {5, CutKind::kLessEq}};
+  EXPECT_FALSE(just_five.Empty());
+  EXPECT_TRUE(just_five.Contains(5));
+  EXPECT_FALSE(just_five.Contains(4));
+}
+
+TEST(CutRangeTest, PredicateRoundTrip) {
+  using P = RangePredicate<std::int64_t>;
+  for (const P& pred : {P::Between(3, 9), P::HalfOpen(3, 9),
+                        P{3, BoundKind::kExclusive, 9, BoundKind::kExclusive}}) {
+    const Range range = CutRangeForPredicate(pred);
+    const P back = PredicateForCutRange(range);
+    for (std::int64_t v = 0; v < 12; ++v) {
+      EXPECT_EQ(pred.Matches(v), range.Contains(v)) << v;
+      EXPECT_EQ(pred.Matches(v), back.Matches(v)) << v;
+    }
+  }
+}
+
+TEST(CutRangeTest, UnboundedPredicateUsesSentinels) {
+  using P = RangePredicate<std::int64_t>;
+  const Range all = CutRangeForPredicate(P::All());
+  EXPECT_TRUE(all.Contains(std::numeric_limits<std::int64_t>::lowest()));
+  EXPECT_TRUE(all.Contains(0));
+  EXPECT_TRUE(all.Contains(std::numeric_limits<std::int64_t>::max()));
+}
+
+TEST(CutIntervalSetTest, EmptySetMissesEverything) {
+  Set s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.Covers(R(1, 5)));
+  EXPECT_TRUE(s.Covers(R(5, 5)));  // empty range is trivially covered
+  const auto missing = s.Missing(R(1, 5));
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0], R(1, 5));
+}
+
+TEST(CutIntervalSetTest, AddThenCovered) {
+  Set s;
+  s.Add(R(10, 20));
+  EXPECT_TRUE(s.Covers(R(10, 20)));
+  EXPECT_TRUE(s.Covers(R(12, 18)));
+  EXPECT_FALSE(s.Covers(R(5, 15)));
+  EXPECT_FALSE(s.Covers(R(15, 25)));
+  EXPECT_TRUE(s.Missing(R(12, 18)).empty());
+}
+
+TEST(CutIntervalSetTest, MissingSplitsAroundCoverage) {
+  Set s;
+  s.Add(R(10, 20));
+  s.Add(R(30, 40));
+  const auto missing = s.Missing(R(5, 45));
+  ASSERT_EQ(missing.size(), 3u);
+  EXPECT_EQ(missing[0], R(5, 10));
+  EXPECT_EQ(missing[1], R(20, 30));
+  EXPECT_EQ(missing[2], R(40, 45));
+}
+
+TEST(CutIntervalSetTest, OverlapCoalesces) {
+  Set s;
+  s.Add(R(10, 20));
+  s.Add(R(15, 30));
+  EXPECT_EQ(s.num_ranges(), 1u);
+  EXPECT_TRUE(s.Covers(R(10, 30)));
+  EXPECT_TRUE(s.Validate());
+}
+
+TEST(CutIntervalSetTest, AdjacencyCoalesces) {
+  Set s;
+  s.Add(R(10, 20));
+  s.Add(R(20, 30));  // exactly adjacent in cut space
+  EXPECT_EQ(s.num_ranges(), 1u);
+  EXPECT_TRUE(s.Covers(R(10, 30)));
+}
+
+TEST(CutIntervalSetTest, BridgingAddMergesMultiple) {
+  Set s;
+  s.Add(R(10, 20));
+  s.Add(R(30, 40));
+  s.Add(R(50, 60));
+  s.Add(R(15, 55));  // bridges all three
+  EXPECT_EQ(s.num_ranges(), 1u);
+  EXPECT_TRUE(s.Covers(R(10, 60)));
+  EXPECT_FALSE(s.Covers(R(9, 60)));
+  EXPECT_TRUE(s.Validate());
+}
+
+TEST(CutIntervalSetTest, ContainedAddIsNoop) {
+  Set s;
+  s.Add(R(10, 40));
+  s.Add(R(20, 30));
+  EXPECT_EQ(s.num_ranges(), 1u);
+  const auto missing = s.Missing(R(0, 50));
+  ASSERT_EQ(missing.size(), 2u);
+  EXPECT_EQ(missing[0], R(0, 10));
+  EXPECT_EQ(missing[1], R(40, 50));
+}
+
+TEST(CutIntervalSetTest, KindBoundariesStayExact) {
+  Set s;
+  // Merge [5, 10] (inclusive both ends).
+  s.Add({{5, CutKind::kLess}, {10, CutKind::kLessEq}});
+  // (10, 20) exclusive both ends is NOT covered at 10 itself... it starts
+  // just above 10, so it abuts the merged range exactly.
+  const Range open{{10, CutKind::kLessEq}, {20, CutKind::kLess}};
+  EXPECT_FALSE(s.Covers(open));
+  const auto missing = s.Missing(open);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0], open);
+  // [5, 10) does not cover value 10; asking for [9, 10] leaves (9?, ...]
+  Set s2;
+  s2.Add({{5, CutKind::kLess}, {10, CutKind::kLess}});  // [5, 10)
+  const Range nine_to_ten{{9, CutKind::kLess}, {10, CutKind::kLessEq}};  // [9, 10]
+  const auto gap = s2.Missing(nine_to_ten);
+  ASSERT_EQ(gap.size(), 1u);
+  // Exactly the value 10 is missing: [10, 10] == (10,kLess)..(10,kLessEq).
+  EXPECT_EQ(gap[0], (Range{{10, CutKind::kLess}, {10, CutKind::kLessEq}}));
+}
+
+// Randomized differential test against a dense boolean model over a small
+// integer domain ([v, v+1) unit ranges).
+TEST(CutIntervalSetTest, DifferentialAgainstDenseModel) {
+  constexpr std::int64_t kDomain = 200;
+  Set s;
+  std::vector<bool> model(kDomain, false);
+  Rng rng(4242);
+  for (int step = 0; step < 2000; ++step) {
+    std::int64_t a = static_cast<std::int64_t>(rng.NextBounded(kDomain));
+    std::int64_t b = a + static_cast<std::int64_t>(rng.NextBounded(20));
+    if (b > kDomain) b = kDomain;
+    if (rng.NextBounded(2) == 0) {
+      s.Add(R(a, b));
+      for (std::int64_t v = a; v < b; ++v) model[static_cast<std::size_t>(v)] = true;
+    } else {
+      // Covers must agree with the model.
+      bool all = true;
+      for (std::int64_t v = a; v < b; ++v) {
+        all &= model[static_cast<std::size_t>(v)];
+      }
+      ASSERT_EQ(s.Covers(R(a, b)), all || a == b) << "range [" << a << "," << b << ")";
+      // Missing must agree value-by-value.
+      std::vector<bool> missing_model(static_cast<std::size_t>(kDomain), false);
+      for (std::int64_t v = a; v < b; ++v) {
+        missing_model[static_cast<std::size_t>(v)] = !model[static_cast<std::size_t>(v)];
+      }
+      std::vector<bool> missing_got(static_cast<std::size_t>(kDomain), false);
+      for (const Range& m : s.Missing(R(a, b))) {
+        for (std::int64_t v = 0; v < kDomain; ++v) {
+          if (m.Contains(v)) missing_got[static_cast<std::size_t>(v)] = true;
+        }
+      }
+      ASSERT_EQ(missing_got, missing_model) << "step " << step;
+    }
+    ASSERT_TRUE(s.Validate());
+  }
+}
+
+}  // namespace
+}  // namespace aidx

@@ -1,0 +1,188 @@
+// The Database facade and the AccessPath registry: every strategy must
+// agree with the scan oracle through the uniform interface (TEST_P), and
+// the facade's error paths must surface proper Statuses.
+#include "exec/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exec/access_path.h"
+#include "exec/operators.h"
+#include "index/scan.h"
+#include "util/rng.h"
+
+namespace aidx {
+namespace {
+
+using Pred = RangePredicate<std::int64_t>;
+
+std::vector<std::int64_t> RandomValues(std::size_t n, std::int64_t domain,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.NextBounded(domain));
+  return v;
+}
+
+class AccessPathStrategyTest : public ::testing::TestWithParam<StrategyConfig> {};
+
+TEST_P(AccessPathStrategyTest, AgreesWithScanOracle) {
+  const auto base = RandomValues(5000, 2000, 51);
+  auto path = MakeAccessPath<std::int64_t>(base, GetParam());
+  ASSERT_NE(path, nullptr);
+  Rng rng(52);
+  for (int q = 0; q < 150; ++q) {
+    const std::int64_t a = rng.NextInRange(-10, 2010);
+    const std::int64_t w = rng.NextInRange(0, 250);
+    const auto p = Pred::HalfOpen(a, a + w);
+    ASSERT_EQ(path->Count(p), ScanCount<std::int64_t>(base, p))
+        << path->name() << " q" << q << " " << p.ToString();
+  }
+  // Sum agreement on a few queries.
+  for (int q = 0; q < 10; ++q) {
+    const auto a = static_cast<std::int64_t>(rng.NextBounded(2000));
+    const auto p = Pred::Between(a, a + 100);
+    ASSERT_DOUBLE_EQ(static_cast<double>(path->Sum(p)),
+                     static_cast<double>(ScanSum<std::int64_t>(base, p)))
+        << path->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, AccessPathStrategyTest,
+    ::testing::Values(StrategyConfig::FullScan(), StrategyConfig::FullSort(),
+                      StrategyConfig::BTree(), StrategyConfig::Crack(),
+                      StrategyConfig::StochasticCrack(512),
+                      StrategyConfig::AdaptiveMerge(700),
+                      StrategyConfig::Hybrid(OrganizeMode::kCrack, OrganizeMode::kSort,
+                                             700),
+                      StrategyConfig::Hybrid(OrganizeMode::kSort, OrganizeMode::kSort,
+                                             700),
+                      StrategyConfig::Hybrid(OrganizeMode::kCrack, OrganizeMode::kRadix,
+                                             700)),
+    [](const auto& info) {
+      std::string name = info.param.DisplayName();
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(StrategyConfigTest, DisplayNames) {
+  EXPECT_EQ(StrategyConfig::FullScan().DisplayName(), "scan");
+  EXPECT_EQ(StrategyConfig::FullSort().DisplayName(), "sort");
+  EXPECT_EQ(StrategyConfig::BTree().DisplayName(), "btree");
+  EXPECT_EQ(StrategyConfig::Crack().DisplayName(), "crack");
+  EXPECT_EQ(StrategyConfig::StochasticCrack().DisplayName(), "stochastic");
+  EXPECT_EQ(StrategyConfig::AdaptiveMerge().DisplayName(), "merge");
+  EXPECT_EQ(
+      StrategyConfig::Hybrid(OrganizeMode::kCrack, OrganizeMode::kSort).DisplayName(),
+      "HCS");
+}
+
+TEST(DatabaseTest, EndToEndCountAcrossStrategies) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("orders").ok());
+  const auto amounts = RandomValues(3000, 1000, 53);
+  ASSERT_TRUE(db.AddColumn("orders", "amount", std::vector<std::int64_t>(amounts)).ok());
+
+  const auto p = Pred::Between(100, 300);
+  const std::size_t expect = ScanCount<std::int64_t>(amounts, p);
+  for (const auto& config :
+       {StrategyConfig::FullScan(), StrategyConfig::Crack(),
+        StrategyConfig::AdaptiveMerge(512),
+        StrategyConfig::Hybrid(OrganizeMode::kCrack, OrganizeMode::kSort, 512)}) {
+    auto count = db.Count("orders", "amount", p, config);
+    ASSERT_TRUE(count.ok()) << config.DisplayName();
+    EXPECT_EQ(*count, expect) << config.DisplayName();
+  }
+  // One cached path per strategy.
+  EXPECT_EQ(db.num_cached_paths(), 4u);
+  // Repeat queries hit the cached adaptive structure.
+  ASSERT_TRUE(db.Count("orders", "amount", p, StrategyConfig::Crack()).ok());
+  EXPECT_EQ(db.num_cached_paths(), 4u);
+}
+
+TEST(DatabaseTest, SumMatchesOracle) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t").ok());
+  const auto values = RandomValues(2000, 500, 54);
+  ASSERT_TRUE(db.AddColumn("t", "v", std::vector<std::int64_t>(values)).ok());
+  const auto p = Pred::Between(100, 400);
+  auto sum = db.Sum("t", "v", p, StrategyConfig::Crack());
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(*sum, static_cast<double>(ScanSum<std::int64_t>(values, p)));
+}
+
+TEST(DatabaseTest, SelectProjectViaSideways) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("lineitem").ok());
+  const std::size_t n = 2000;
+  const auto keys = RandomValues(n, 400, 55);
+  std::vector<std::int64_t> price(n);
+  std::vector<std::int64_t> qty(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    price[i] = keys[i] * 3;
+    qty[i] = keys[i] % 7;
+  }
+  ASSERT_TRUE(db.AddColumn("lineitem", "shipdate", std::vector<std::int64_t>(keys)).ok());
+  ASSERT_TRUE(db.AddColumn("lineitem", "price", std::move(price)).ok());
+  ASSERT_TRUE(db.AddColumn("lineitem", "qty", std::move(qty)).ok());
+
+  const auto p = Pred::Between(100, 200);
+  auto res = db.SelectProject("lineitem", "shipdate", p, {"price", "qty"});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->num_rows, ScanCount<std::int64_t>(keys, p));
+  for (std::size_t i = 0; i < res->num_rows; ++i) {
+    const std::int64_t key = res->columns[0][i] / 3;
+    ASSERT_TRUE(p.Matches(key));
+    ASSERT_EQ(res->columns[1][i], key % 7);
+  }
+}
+
+TEST(DatabaseTest, ErrorPaths) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t").ok());
+  EXPECT_TRUE(db.CreateTable("t").IsAlreadyExists());
+  EXPECT_TRUE(db.AddColumn("ghost", "v", {1}).IsNotFound());
+  ASSERT_TRUE(db.AddColumn("t", "v", {1, 2, 3}).ok());
+  EXPECT_TRUE(db.AddColumn("t", "v", {1, 2, 3}).IsAlreadyExists());
+  EXPECT_TRUE(db.Count("ghost", "v", Pred::Between(1, 2), StrategyConfig::Crack())
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(db.Count("t", "ghost", Pred::Between(1, 2), StrategyConfig::Crack())
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(db.SelectProject("t", "v", Pred::Between(1, 2), {"ghost"})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(DatabaseTest, ResetAdaptiveStateDropsCaches) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t").ok());
+  ASSERT_TRUE(db.AddColumn("t", "v", RandomValues(500, 100, 56)).ok());
+  ASSERT_TRUE(db.Count("t", "v", Pred::Between(1, 50), StrategyConfig::Crack()).ok());
+  EXPECT_EQ(db.num_cached_paths(), 1u);
+  db.ResetAdaptiveState();
+  EXPECT_EQ(db.num_cached_paths(), 0u);
+  // Still answers after reset (fresh adaptive state).
+  auto count = db.Count("t", "v", Pred::Between(1, 50), StrategyConfig::Crack());
+  ASSERT_TRUE(count.ok());
+}
+
+TEST(OperatorsTest, GatherAndPermutation) {
+  const std::vector<std::int64_t> values = {10, 20, 30, 40};
+  const std::vector<row_id_t> rids = {3, 0, 2};
+  std::vector<std::int64_t> out;
+  Gather<std::int64_t>(values, rids, &out);
+  EXPECT_EQ(out, (std::vector<std::int64_t>{40, 10, 30}));
+  EXPECT_DOUBLE_EQ(static_cast<double>(GatherSum<std::int64_t>(values, rids)), 80.0);
+  const std::vector<row_id_t> perm = {1, 0, 3, 2};
+  EXPECT_EQ(ApplyPermutation<std::int64_t>(values, perm),
+            (std::vector<std::int64_t>{20, 10, 40, 30}));
+}
+
+}  // namespace
+}  // namespace aidx

@@ -1,0 +1,129 @@
+// CrackJoin: oracle-differential equi-join counts and pair materialization,
+// plus the adaptive reuse property (repeated joins refine shared cracks).
+#include "exec/join.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace aidx {
+namespace {
+
+using Pred = RangePredicate<std::int64_t>;
+using Join = CrackJoin<std::int64_t>;
+
+std::vector<std::int64_t> RandomValues(std::size_t n, std::int64_t domain,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.NextBounded(domain));
+  return v;
+}
+
+std::size_t OracleJoinCount(const std::vector<std::int64_t>& l,
+                            const std::vector<std::int64_t>& r, const Pred& pred) {
+  std::unordered_map<std::int64_t, std::size_t> counts;
+  for (const auto v : l) {
+    if (pred.Matches(v)) ++counts[v];
+  }
+  std::size_t total = 0;
+  for (const auto v : r) {
+    if (!pred.Matches(v)) continue;
+    const auto it = counts.find(v);
+    if (it != counts.end()) total += it->second;
+  }
+  return total;
+}
+
+TEST(CrackJoinTest, SmallExactJoin) {
+  const std::vector<std::int64_t> l = {1, 2, 2, 3, 5};
+  const std::vector<std::int64_t> r = {2, 3, 3, 4};
+  Join join(l, r, {.num_pivots = 2});
+  // matches: 2x1 (two 2s left, one 2 right) + 1x2 (one 3 left, two 3s right)
+  EXPECT_EQ(join.CountJoin(), 4u);
+  EXPECT_TRUE(join.Validate());
+}
+
+TEST(CrackJoinTest, CountMatchesOracleAcrossPredicates) {
+  const auto l = RandomValues(4000, 500, 1);
+  const auto r = RandomValues(3000, 500, 2);
+  Join join(l, r);
+  Rng rng(3);
+  for (int q = 0; q < 50; ++q) {
+    const std::int64_t a = rng.NextInRange(-5, 505);
+    const std::int64_t w = rng.NextInRange(0, 200);
+    for (const Pred& p : {Pred::Between(a, a + w), Pred::HalfOpen(a, a + w),
+                          Pred::All(), Pred::AtLeast(a)}) {
+      ASSERT_EQ(join.CountJoin(p), OracleJoinCount(l, r, p)) << p.ToString();
+    }
+  }
+  EXPECT_TRUE(join.Validate());
+}
+
+TEST(CrackJoinTest, MaterializedPairsAreExact) {
+  const auto l = RandomValues(300, 40, 4);
+  const auto r = RandomValues(200, 40, 5);
+  Join join(l, r, {.num_pivots = 7});
+  const Pred p = Pred::Between(10, 25);
+  std::vector<std::pair<row_id_t, row_id_t>> pairs;
+  join.MaterializePairs(p, &pairs);
+  // Every pair must be a real match.
+  for (const auto& [lr, rr] : pairs) {
+    ASSERT_EQ(l[lr], r[rr]);
+    ASSERT_TRUE(p.Matches(l[lr]));
+  }
+  // And the pair count must equal the oracle count (no dupes/misses).
+  EXPECT_EQ(pairs.size(), OracleJoinCount(l, r, p));
+  std::sort(pairs.begin(), pairs.end());
+  EXPECT_EQ(std::adjacent_find(pairs.begin(), pairs.end()), pairs.end());
+}
+
+TEST(CrackJoinTest, RepeatedJoinsReuseCracks) {
+  const auto l = RandomValues(20000, 5000, 6);
+  const auto r = RandomValues(20000, 5000, 7);
+  Join join(l, r);
+  const std::size_t first = join.CountJoin(Pred::Between(1000, 2000));
+  const std::size_t cracks_after_first = join.left().stats().num_crack_in_two +
+                                         join.left().stats().num_crack_in_three;
+  EXPECT_EQ(join.CountJoin(Pred::Between(1000, 2000)), first);
+  // Identical join => no new physical reorganization on the left input.
+  EXPECT_EQ(join.left().stats().num_crack_in_two +
+                join.left().stats().num_crack_in_three,
+            cracks_after_first);
+}
+
+TEST(CrackJoinTest, EmptyInputsAndEmptyPredicate) {
+  const std::vector<std::int64_t> l = {1, 2, 3};
+  Join empty_right(l, {});
+  EXPECT_EQ(empty_right.CountJoin(), 0u);
+  Join empty_left({}, l);
+  EXPECT_EQ(empty_left.CountJoin(), 0u);
+  Join join(l, l);
+  EXPECT_EQ(join.CountJoin(Pred::Between(5, 2)), 0u);
+}
+
+TEST(CrackJoinTest, SelfJoinWithDuplicates) {
+  std::vector<std::int64_t> v(100, 7);  // 100 equal keys -> 10k pairs
+  Join join(v, v, {.num_pivots = 3});
+  EXPECT_EQ(join.CountJoin(), 10000u);
+  EXPECT_EQ(join.CountJoin(Pred::Between(8, 9)), 0u);
+}
+
+TEST(CrackJoinTest, PivotCountSweep) {
+  const auto l = RandomValues(5000, 1000, 8);
+  const auto r = RandomValues(5000, 1000, 9);
+  const std::size_t expect = OracleJoinCount(l, r, Pred::All());
+  for (const std::size_t pivots : {std::size_t{0}, std::size_t{1}, std::size_t{15},
+                                   std::size_t{255}}) {
+    Join join(l, r, {.num_pivots = pivots});
+    ASSERT_EQ(join.CountJoin(), expect) << pivots << " pivots";
+    ASSERT_TRUE(join.Validate()) << pivots << " pivots";
+  }
+}
+
+}  // namespace
+}  // namespace aidx

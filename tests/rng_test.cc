@@ -1,0 +1,124 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace aidx {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, NextBoundedStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextInRangeCoversInclusiveEnds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const std::int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextInRangeSingleton) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextInRange(42, 42), 42);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean of U[0,1) over 20k draws: ~0.5 within a loose tolerance.
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BoundedRoughlyUniform) {
+  Rng rng(19);
+  constexpr std::uint64_t kBuckets = 16;
+  std::vector<int> histogram(kBuckets, 0);
+  constexpr int kDraws = 160000;
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.NextBounded(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const int h : histogram) {
+    EXPECT_NEAR(h, expected, expected * 0.1);
+  }
+}
+
+TEST(ZipfTest, RankZeroMostPopular) {
+  ZipfGenerator zipf(100, 1.0, 23);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Next()];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+  // Zipf(1.0): P(0)/P(9) == 10; allow generous sampling noise.
+  EXPECT_GT(counts[0], counts[9] * 4);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfGenerator zipf(10, 0.0, 29);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Next()];
+  for (const int c : counts) EXPECT_NEAR(c, kDraws / 10, kDraws / 10 * 0.15);
+}
+
+TEST(ZipfTest, AllRanksReachable) {
+  ZipfGenerator zipf(5, 1.2, 31);
+  std::vector<bool> seen(5, false);
+  for (int i = 0; i < 20000; ++i) seen[zipf.Next()] = true;
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(ZipfTest, Deterministic) {
+  ZipfGenerator a(50, 0.8, 37);
+  ZipfGenerator b(50, 0.8, 37);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+}
+
+}  // namespace
+}  // namespace aidx

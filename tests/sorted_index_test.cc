@@ -1,0 +1,99 @@
+#include "index/sorted_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "index/scan.h"
+#include "util/rng.h"
+
+namespace aidx {
+namespace {
+
+using Pred = RangePredicate<std::int64_t>;
+
+TEST(FullSortIndexTest, SortsOnBuild) {
+  const std::vector<std::int64_t> base = {5, 1, 4, 2, 3};
+  FullSortIndex<std::int64_t> idx(base);
+  EXPECT_TRUE(std::is_sorted(idx.values().begin(), idx.values().end()));
+  EXPECT_EQ(idx.size(), 5u);
+}
+
+TEST(FullSortIndexTest, EmptyColumn) {
+  FullSortIndex<std::int64_t> idx(std::span<const std::int64_t>{});
+  EXPECT_EQ(idx.CountRange(Pred::All()), 0u);
+  EXPECT_EQ(idx.SelectRange(Pred::Between(1, 2)), (PositionRange{0, 0}));
+}
+
+TEST(FullSortIndexTest, BoundKindsRespected) {
+  const std::vector<std::int64_t> base = {1, 2, 2, 2, 3, 4};
+  FullSortIndex<std::int64_t> idx(base);
+  EXPECT_EQ(idx.CountRange(Pred::Between(2, 2)), 3u);
+  EXPECT_EQ(idx.CountRange(Pred::HalfOpen(2, 3)), 3u);
+  EXPECT_EQ(idx.CountRange(Pred::LessThan(2)), 1u);
+  EXPECT_EQ(idx.CountRange(Pred::AtMost(2)), 4u);
+  EXPECT_EQ(idx.CountRange(Pred::GreaterThan(2)), 2u);
+  EXPECT_EQ(idx.CountRange(Pred::AtLeast(2)), 5u);
+  EXPECT_EQ(idx.CountRange(Pred::Between(5, 9)), 0u);
+  EXPECT_EQ(idx.CountRange(Pred::Between(9, 5)), 0u);  // inverted => empty
+}
+
+TEST(FullSortIndexTest, RowIdsPermuteWithValues) {
+  const std::vector<std::int64_t> base = {30, 10, 20};
+  FullSortIndex<std::int64_t> idx(base, {.with_row_ids = true});
+  ASSERT_EQ(idx.row_ids().size(), 3u);
+  // sorted order: 10 (row 1), 20 (row 2), 30 (row 0)
+  EXPECT_EQ(idx.row_ids()[0], 1u);
+  EXPECT_EQ(idx.row_ids()[1], 2u);
+  EXPECT_EQ(idx.row_ids()[2], 0u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(idx.values()[i], base[idx.row_ids()[i]]);
+  }
+}
+
+TEST(FullSortIndexTest, DifferentialAgainstScan) {
+  Rng rng(77);
+  std::vector<std::int64_t> base(20000);
+  for (auto& v : base) v = static_cast<std::int64_t>(rng.NextBounded(5000));
+  FullSortIndex<std::int64_t> idx(base);
+  for (int q = 0; q < 500; ++q) {
+    const auto a = static_cast<std::int64_t>(rng.NextBounded(5200)) - 100;
+    const auto b = a + static_cast<std::int64_t>(rng.NextBounded(300));
+    for (const Pred& p :
+         {Pred::Between(a, b), Pred::HalfOpen(a, b), Pred::AtLeast(a), Pred::AtMost(b)}) {
+      ASSERT_EQ(idx.CountRange(p), ScanCount<std::int64_t>(base, p))
+          << p.ToString();
+    }
+  }
+}
+
+TEST(FullSortIndexTest, SumMatchesScan) {
+  Rng rng(78);
+  std::vector<std::int64_t> base(5000);
+  for (auto& v : base) v = static_cast<std::int64_t>(rng.NextBounded(1000));
+  FullSortIndex<std::int64_t> idx(base);
+  const auto p = Pred::Between(100, 400);
+  EXPECT_DOUBLE_EQ(static_cast<double>(idx.SumRange(p)),
+                   static_cast<double>(ScanSum<std::int64_t>(base, p)));
+}
+
+TEST(ScanTest, PositionsAndValues) {
+  const std::vector<std::int64_t> base = {5, 1, 7, 3, 9};
+  const auto p = Pred::Between(3, 7);
+  std::vector<std::size_t> pos;
+  ScanPositions<std::int64_t>(base, p, &pos);
+  EXPECT_EQ(pos, (std::vector<std::size_t>{0, 2, 3}));
+  std::vector<std::int64_t> vals;
+  ScanValues<std::int64_t>(base, p, &vals);
+  EXPECT_EQ(vals, (std::vector<std::int64_t>{5, 7, 3}));
+}
+
+TEST(FullSortIndexTest, WorksForDoubles) {
+  const std::vector<double> base = {2.5, 0.5, 1.5};
+  FullSortIndex<double> idx(base);
+  EXPECT_EQ(idx.CountRange(RangePredicate<double>::Between(1.0, 2.0)), 1u);
+}
+
+}  // namespace
+}  // namespace aidx

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/predicate.h"
+#include "storage/table.h"
+#include "storage/types.h"
+
+namespace aidx {
+namespace {
+
+TEST(ColumnTest, TypedColumnBasics) {
+  TypedColumn<std::int64_t> col("price", {3, 1, 4, 1, 5});
+  EXPECT_EQ(col.type(), DataType::kInt64);
+  EXPECT_EQ(col.size(), 5u);
+  EXPECT_EQ(col.name(), "price");
+  EXPECT_EQ(col.Get(2), 4);
+  EXPECT_GE(col.MemoryUsageBytes(), 5 * sizeof(std::int64_t));
+}
+
+TEST(ColumnTest, AppendGrows) {
+  TypedColumn<double> col("d");
+  col.Append(1.5);
+  col.Append(2.5);
+  const std::vector<double> more = {3.5, 4.5};
+  col.AppendMany(more);
+  EXPECT_EQ(col.size(), 4u);
+  EXPECT_DOUBLE_EQ(col.Get(3), 4.5);
+}
+
+TEST(ColumnTest, TypedDowncastChecksType) {
+  auto col = MakeColumn<std::int32_t>("a", {1, 2, 3});
+  Column* base = col.get();
+  ASSERT_TRUE(base->As<std::int32_t>().ok());
+  const auto bad = base->As<std::int64_t>();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(TableTest, AddAndLookup) {
+  Table t("orders");
+  ASSERT_TRUE(t.AddColumn<std::int64_t>("id", {1, 2, 3}).ok());
+  ASSERT_TRUE(t.AddColumn<std::int64_t>("amount", {10, 20, 30}).ok());
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  auto col = t.GetTypedColumn<std::int64_t>("amount");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->Get(1), 20);
+}
+
+TEST(TableTest, RejectsDuplicateColumnNames) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn<std::int64_t>("a", {1}).ok());
+  EXPECT_TRUE(t.AddColumn<std::int64_t>("a", {2}).IsAlreadyExists());
+}
+
+TEST(TableTest, RejectsLengthMismatch) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn<std::int64_t>("a", {1, 2}).ok());
+  EXPECT_TRUE(t.AddColumn<std::int64_t>("b", {1}).IsInvalidArgument());
+}
+
+TEST(TableTest, RejectsNullAndUnnamedColumns) {
+  Table t("t");
+  EXPECT_TRUE(t.AddColumn(nullptr).IsInvalidArgument());
+  EXPECT_TRUE(t.AddColumn<std::int64_t>("", {1}).IsInvalidArgument());
+}
+
+TEST(TableTest, MissingColumnIsNotFound) {
+  Table t("t");
+  EXPECT_TRUE(t.GetColumn("ghost").status().IsNotFound());
+}
+
+TEST(TableTest, ColumnNamesInInsertionOrder) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn<std::int64_t>("z", {1}).ok());
+  ASSERT_TRUE(t.AddColumn<std::int64_t>("a", {2}).ok());
+  EXPECT_EQ(t.column_names(), (std::vector<std::string>{"z", "a"}));
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog cat;
+  auto created = cat.CreateTable("t1");
+  ASSERT_TRUE(created.ok());
+  EXPECT_TRUE(cat.GetTable("t1").ok());
+  EXPECT_TRUE(cat.CreateTable("t1").status().IsAlreadyExists());
+  EXPECT_TRUE(cat.DropTable("t1").ok());
+  EXPECT_TRUE(cat.GetTable("t1").status().IsNotFound());
+  EXPECT_TRUE(cat.DropTable("t1").IsNotFound());
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("b").ok());
+  ASSERT_TRUE(cat.CreateTable("a").ok());
+  EXPECT_EQ(cat.TableNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(PredicateTest, BetweenMatchesInclusive) {
+  const auto p = RangePredicate<std::int64_t>::Between(2, 5);
+  EXPECT_FALSE(p.Matches(1));
+  EXPECT_TRUE(p.Matches(2));
+  EXPECT_TRUE(p.Matches(5));
+  EXPECT_FALSE(p.Matches(6));
+}
+
+TEST(PredicateTest, HalfOpenExcludesHigh) {
+  const auto p = RangePredicate<std::int64_t>::HalfOpen(2, 5);
+  EXPECT_TRUE(p.Matches(2));
+  EXPECT_TRUE(p.Matches(4));
+  EXPECT_FALSE(p.Matches(5));
+}
+
+TEST(PredicateTest, OneSidedForms) {
+  EXPECT_TRUE(RangePredicate<std::int64_t>::LessThan(3).Matches(2));
+  EXPECT_FALSE(RangePredicate<std::int64_t>::LessThan(3).Matches(3));
+  EXPECT_TRUE(RangePredicate<std::int64_t>::AtMost(3).Matches(3));
+  EXPECT_TRUE(RangePredicate<std::int64_t>::GreaterThan(3).Matches(4));
+  EXPECT_FALSE(RangePredicate<std::int64_t>::GreaterThan(3).Matches(3));
+  EXPECT_TRUE(RangePredicate<std::int64_t>::AtLeast(3).Matches(3));
+  EXPECT_TRUE(RangePredicate<std::int64_t>::All().Matches(-100));
+}
+
+TEST(PredicateTest, DefinitelyEmptyCases) {
+  using P = RangePredicate<std::int64_t>;
+  EXPECT_TRUE(P::Between(5, 4).DefinitelyEmpty());
+  EXPECT_TRUE(P::HalfOpen(5, 5).DefinitelyEmpty());
+  EXPECT_FALSE(P::Between(5, 5).DefinitelyEmpty());
+  EXPECT_FALSE(P::LessThan(0).DefinitelyEmpty());
+  P both_exclusive{5, BoundKind::kExclusive, 5, BoundKind::kExclusive};
+  EXPECT_TRUE(both_exclusive.DefinitelyEmpty());
+}
+
+TEST(PredicateTest, PositionRangeHelpers) {
+  PositionRange r{3, 7};
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE((PositionRange{5, 5}).empty());
+}
+
+TEST(PredicateTest, WorksForFloat64) {
+  const auto p = RangePredicate<double>::HalfOpen(0.5, 1.5);
+  EXPECT_TRUE(p.Matches(0.5));
+  EXPECT_TRUE(p.Matches(1.0));
+  EXPECT_FALSE(p.Matches(1.5));
+}
+
+}  // namespace
+}  // namespace aidx

@@ -1,0 +1,284 @@
+// Workload generators, runner, metrics, and report plumbing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "index/scan.h"
+#include "workload/data_generator.h"
+#include "workload/metrics.h"
+#include "workload/query_generator.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+namespace aidx {
+namespace {
+
+using Pred = RangePredicate<std::int64_t>;
+
+TEST(DataGeneratorTest, UniformWithinDomain) {
+  const auto data = GenerateData({.n = 10000, .domain = 1000,
+                                  .distribution = DataDistribution::kUniform,
+                                  .seed = 1});
+  EXPECT_EQ(data.size(), 10000u);
+  for (const auto v : data) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 1000);
+  }
+}
+
+TEST(DataGeneratorTest, DeterministicInSeed) {
+  const DataSpec spec{.n = 1000, .domain = 100, .seed = 42};
+  EXPECT_EQ(GenerateData(spec), GenerateData(spec));
+  DataSpec other = spec;
+  other.seed = 43;
+  EXPECT_NE(GenerateData(spec), GenerateData(other));
+}
+
+TEST(DataGeneratorTest, PermutationIsAllDistinct) {
+  const auto data = GenerateData({.n = 5000,
+                                  .distribution = DataDistribution::kPermutation,
+                                  .seed = 2});
+  std::set<std::int64_t> distinct(data.begin(), data.end());
+  EXPECT_EQ(distinct.size(), data.size());
+  EXPECT_EQ(*distinct.begin(), 0);
+  EXPECT_EQ(*distinct.rbegin(), 4999);
+  // And not already sorted (vanishing probability).
+  EXPECT_FALSE(std::is_sorted(data.begin(), data.end()));
+}
+
+TEST(DataGeneratorTest, NearlySortedIsMostlySorted) {
+  const auto data = GenerateData({.n = 10000,
+                                  .distribution = DataDistribution::kNearlySorted,
+                                  .disorder = 0.01,
+                                  .seed = 3});
+  std::size_t inversions = 0;
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    inversions += data[i - 1] > data[i] ? 1 : 0;
+  }
+  EXPECT_LT(inversions, data.size() / 10);
+  EXPECT_GT(inversions, 0u);
+}
+
+TEST(DataGeneratorTest, ZipfValuesHeavyDuplicates) {
+  const auto data = GenerateData({.n = 20000, .domain = 1 << 16,
+                                  .distribution = DataDistribution::kZipfValues,
+                                  .zipf_theta = 1.2,
+                                  .seed = 4});
+  std::set<std::int64_t> distinct(data.begin(), data.end());
+  // Heavy skew => far fewer distinct values than rows.
+  EXPECT_LT(distinct.size(), data.size() / 4);
+}
+
+TEST(QueryGeneratorTest, SelectivityControlsWidth) {
+  for (double sel : {0.001, 0.01, 0.1}) {
+    const auto queries = GenerateQueries({.pattern = QueryPattern::kRandom,
+                                          .num_queries = 100,
+                                          .domain = 100000,
+                                          .selectivity = sel,
+                                          .seed = 5});
+    const auto width = static_cast<std::int64_t>(sel * 100000);
+    for (const auto& q : queries) {
+      ASSERT_EQ(q.high - q.low, width);
+      ASSERT_GE(q.low, 0);
+      ASSERT_LE(q.high, 100000);
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, SequentialMarchesForward) {
+  const auto queries = GenerateQueries({.pattern = QueryPattern::kSequential,
+                                        .num_queries = 50,
+                                        .domain = 100000,
+                                        .selectivity = 0.001,
+                                        .seed = 6});
+  for (std::size_t i = 1; i < 40; ++i) {
+    ASSERT_GT(queries[i].low, queries[i - 1].low);
+  }
+}
+
+TEST(QueryGeneratorTest, PeriodicCyclesRegions) {
+  const auto queries = GenerateQueries({.pattern = QueryPattern::kPeriodic,
+                                        .num_queries = 40,
+                                        .domain = 100000,
+                                        .selectivity = 0.001,
+                                        .period = 4,
+                                        .seed = 7});
+  // Queries i and i+4 fall in the same region (domain/4 wide).
+  const std::int64_t region = 100000 / 4;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(queries[i].low / region, static_cast<std::int64_t>(i % 4));
+  }
+}
+
+TEST(QueryGeneratorTest, ZoomInNarrows) {
+  const auto queries = GenerateQueries({.pattern = QueryPattern::kZoomIn,
+                                        .num_queries = 10,
+                                        .domain = 1 << 20,
+                                        .selectivity = 0.0001,
+                                        .seed = 8});
+  for (std::size_t i = 1; i < queries.size(); ++i) {
+    ASSERT_LE(queries[i].high - queries[i].low,
+              queries[i - 1].high - queries[i - 1].low);
+  }
+}
+
+TEST(QueryGeneratorTest, SkewedConcentratesOnHotspots) {
+  const auto queries = GenerateQueries({.pattern = QueryPattern::kSkewed,
+                                        .num_queries = 2000,
+                                        .domain = 1 << 20,
+                                        .selectivity = 0.001,
+                                        .zipf_theta = 1.2,
+                                        .num_hotspots = 10,
+                                        .seed = 9});
+  // The most popular query start should repeat many times (zipf head).
+  std::map<std::int64_t, int> start_buckets;
+  for (const auto& q : queries) ++start_buckets[q.low / 2048];
+  int max_count = 0;
+  for (const auto& [_, c] : start_buckets) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 200);  // >10% of queries hit one bucket
+}
+
+TEST(QueryGeneratorTest, ShiftingHotspotMoves) {
+  const auto queries = GenerateQueries({.pattern = QueryPattern::kShiftingHotspot,
+                                        .num_queries = 400,
+                                        .domain = 1 << 20,
+                                        .selectivity = 0.0005,
+                                        .hotspot_phases = 4,
+                                        .hotspot_width = 0.05,
+                                        .seed = 10});
+  // Queries inside one phase stay within a narrow band; compare phase means.
+  auto phase_mean = [&](std::size_t phase) {
+    double sum = 0;
+    for (std::size_t i = phase * 100; i < (phase + 1) * 100; ++i) {
+      sum += static_cast<double>(queries[i].low);
+    }
+    return sum / 100.0;
+  };
+  std::set<long> means;
+  for (std::size_t p = 0; p < 4; ++p) {
+    means.insert(static_cast<long>(phase_mean(p) / (0.06 * (1 << 20))));
+  }
+  EXPECT_GT(means.size(), 1u) << "hotspot never moved";
+}
+
+TEST(QueryGeneratorTest, AllPatternsProduceValidPredicates) {
+  for (const QueryPattern pattern : kAllQueryPatterns) {
+    const auto queries = GenerateQueries({.pattern = pattern,
+                                          .num_queries = 200,
+                                          .domain = 10000,
+                                          .selectivity = 0.01,
+                                          .seed = 11});
+    ASSERT_EQ(queries.size(), 200u) << QueryPatternName(pattern);
+    for (const auto& q : queries) {
+      ASSERT_LE(0, q.low) << QueryPatternName(pattern);
+      ASSERT_LT(q.low, q.high) << QueryPatternName(pattern);
+      ASSERT_LE(q.high, 10000) << QueryPatternName(pattern);
+    }
+  }
+}
+
+TEST(RunnerTest, ChecksumsAgreeAcrossStrategies) {
+  const auto data = GenerateData({.n = 20000, .domain = 10000, .seed = 12});
+  const auto queries = GenerateQueries({.num_queries = 200,
+                                        .domain = 10000,
+                                        .selectivity = 0.01,
+                                        .seed = 13});
+  const auto scan = RunWorkload(data, StrategyConfig::FullScan(), queries, "random");
+  const auto crack = RunWorkload(data, StrategyConfig::Crack(), queries, "random");
+  const auto merge =
+      RunWorkload(data, StrategyConfig::AdaptiveMerge(4096), queries, "random");
+  EXPECT_EQ(scan.count_checksum, crack.count_checksum);
+  EXPECT_EQ(scan.count_checksum, merge.count_checksum);
+  EXPECT_EQ(crack.per_query_seconds.size(), queries.size());
+  EXPECT_GT(crack.total_seconds(), 0.0);
+}
+
+TEST(RunnerTest, CumulativeAverageAndTailMean) {
+  RunResult run;
+  run.per_query_seconds = {4.0, 2.0, 3.0, 1.0};
+  EXPECT_DOUBLE_EQ(run.first_query_seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(run.cumulative_average(0), 4.0);
+  EXPECT_DOUBLE_EQ(run.cumulative_average(3), 2.5);
+  EXPECT_DOUBLE_EQ(run.tail_mean(2), 2.0);
+  EXPECT_DOUBLE_EQ(run.total_seconds(), 10.0);
+}
+
+TEST(MetricsTest, ConvergenceDetection) {
+  RunResult run;
+  run.strategy = "crack";
+  run.workload = "random";
+  // 20 slow queries, then fast ones.
+  for (int i = 0; i < 20; ++i) run.per_query_seconds.push_back(1.0);
+  for (int i = 0; i < 200; ++i) run.per_query_seconds.push_back(0.001);
+  const auto m = ComputeMetrics(run, /*scan_seconds=*/0.5,
+                                /*reference_seconds=*/0.001);
+  EXPECT_DOUBLE_EQ(m.first_query_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(m.first_query_overhead, 2.0);
+  // Convergence lands once the smoothing window clears the slow prefix.
+  EXPECT_GE(m.queries_to_convergence, 10);
+  EXPECT_LE(m.queries_to_convergence, 25);
+  EXPECT_NEAR(m.steady_state_seconds, 0.001, 1e-9);
+}
+
+TEST(MetricsTest, NeverConverges) {
+  RunResult run;
+  run.per_query_seconds.assign(100, 1.0);
+  const auto m = ComputeMetrics(run, 1.0, 0.001);
+  EXPECT_EQ(m.queries_to_convergence, -1);
+}
+
+TEST(MetricsTest, ScanConvergesImmediatelyAgainstItself) {
+  RunResult run;
+  run.per_query_seconds.assign(100, 0.01);
+  const auto m = ComputeMetrics(run, 0.01, 0.01);
+  EXPECT_EQ(m.queries_to_convergence, 0);
+  EXPECT_DOUBLE_EQ(m.first_query_overhead, 1.0);
+}
+
+TEST(ReportTest, TablePrinterAligns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1.0"});
+  table.AddRow({"b", "22.5"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.5"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ReportTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(2.5), "2.50s");
+  EXPECT_EQ(FormatSeconds(0.0025), "2.50ms");
+  EXPECT_EQ(FormatSeconds(2.5e-6), "2.5us");
+  EXPECT_EQ(FormatSeconds(250e-9), "250ns");
+}
+
+TEST(ReportTest, LogSpacedIndicesCoverEnds) {
+  const auto idx = LogSpacedIndices(1000);
+  EXPECT_EQ(idx.front(), 0u);
+  EXPECT_EQ(idx.back(), 999u);
+  EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+  EXPECT_LT(idx.size(), 15u);
+  EXPECT_EQ(LogSpacedIndices(1).size(), 1u);
+  EXPECT_TRUE(LogSpacedIndices(0).empty());
+}
+
+TEST(ReportTest, WriteCsvRoundTrip) {
+  const std::string path = "/tmp/aidx_report_test.csv";
+  ASSERT_TRUE(WriteCsv(path, {"a", "b"}, {{"1", "2"}, {"3", "4"}}).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  EXPECT_TRUE(WriteCsv("/nonexistent-dir/x.csv", {"a"}, {}).IsInternal());
+}
+
+}  // namespace
+}  // namespace aidx
