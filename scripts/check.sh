@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full test suite in one command — the
+# tier-1 verification line from ROADMAP.md. Usage: scripts/check.sh
+# Extra cmake configure arguments are passed through, e.g.:
+#   scripts/check.sh -DCMAKE_BUILD_TYPE=Debug
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . "$@"
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"

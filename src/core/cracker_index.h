@@ -4,6 +4,22 @@
 // answers "where is the piece a new cut must crack" (floor/ceiling search),
 // records realized cuts, and supports the position-shifting walks the
 // update algorithms (SIGMOD 2007) need.
+//
+// Ownership: a CrackerIndex stores only (cut, position) bookkeeping — it
+// never owns or touches the cracked array itself. It is owned by exactly
+// one physical container (CrackerColumn or CrackerMap), which is
+// responsible for keeping positions consistent with the array it manages:
+// the contract is that AddCut(cut, p) is called only after the owner has
+// physically partitioned the enclosing piece at p, and set_column_size /
+// the mutable VisitCuts walks are reserved for the update pipeline that
+// shifts positions in lock step with ripple moves.
+//
+// Usage (the cracking inner loop):
+//   CutLookup<T> look = index.Lookup(cut);
+//   if (!look.exact) {                       // piece [begin, end) must crack
+//     std::size_t p = /* CrackInTwo over look.piece */;
+//     index.AddCut(cut, p);
+//   }                                        // look.position / p is the answer
 #pragma once
 
 #include <cstddef>

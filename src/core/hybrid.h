@@ -21,6 +21,20 @@
 // Because migration always moves whole value ranges simultaneously from
 // every partition, the "holes" left behind are value-aligned dead pieces
 // that no later query can touch: correctness needs no tombstones.
+//
+// Ownership: construction copies the base span into initial partitions
+// (the only full-column copy the structure ever makes); the base data is
+// not referenced afterwards. All partitions, final-store segments, and the
+// merged-range set are owned by the HybridIndex; exhausted partitions
+// release their storage eagerly. Move-only, not thread-safe — every query
+// is also a write (see exec/serialized_path.h for the latched wrapper).
+//
+// Usage: construct with an Options naming the initial/final OrganizeMode
+// pair (HCS = {kCrack, kSort}, etc. — StrategyConfig::Hybrid does this for
+// you behind AccessPath), then call Count/Sum/Materialize with range
+// predicates; each call migrates the predicate's still-missing value
+// ranges as a side effect. stats() and fully_merged() expose adaptation
+// progress; Validate() is the O(n) test-only invariant sweep.
 #pragma once
 
 #include <algorithm>

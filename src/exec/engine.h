@@ -5,6 +5,30 @@
 // This plays the role the MonetDB integration plays in the surveyed papers:
 // the component that routes query operators to adaptive structures
 // (tutorial §2, "Auto-tuning Kernels").
+//
+// Ownership: a Database owns everything it serves — the catalog's base
+// columns (moved in via AddColumn) and every cached adaptive structure.
+// Access paths are created lazily on first use and cached per
+// (table, column, StrategyConfig::DisplayName()) key, so repeated queries
+// through the same strategy adapt one shared structure. Note the key is
+// the *display name*: knobs it omits (run_size, seed, radix_bits, ...) do
+// not distinguish cache entries, so knob sweeps must call
+// ResetAdaptiveState between configs or construct AccessPaths directly
+// (as the benches do). Sideways crackers are cached
+// per (table, head column) and borrow the catalog's column storage, which
+// therefore must not be mutated while the Database lives. The type is
+// move-only and not thread-safe: callers wanting concurrency wrap paths in
+// SerializedAccessPath (exec/serialized_path.h) or shard by column.
+//
+// Usage:
+//   Database db;
+//   AIDX_CHECK_OK(db.CreateTable("sales"));
+//   AIDX_CHECK_OK(db.AddColumn("sales", "amount", std::move(values)));
+//   auto n = db.Count("sales", "amount",
+//                     RangePredicate<std::int64_t>::Between(lo, hi),
+//                     StrategyConfig::Crack());   // cracks as a side effect
+// All entry points return Status/Result rather than throwing; errors are
+// NotFound / AlreadyExists / InvalidArgument from util/status.h.
 #pragma once
 
 #include <cstdint>
