@@ -8,8 +8,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
+#include <latch>
 #include <string>
+#include <thread>
+#include <vector>
+
+#include "util/timer.h"
 
 namespace aidx::bench {
 
@@ -40,6 +46,46 @@ inline std::string CsvPath(const std::string& name) {
 inline void PrintHeader(const char* experiment, const char* regenerates) {
   std::cout << "=== " << experiment << " ===\n"
             << "regenerates: " << regenerates << "\n";
+}
+
+/// Result of one multi-threaded throughput run.
+struct ThroughputResult {
+  std::size_t num_threads = 0;
+  std::size_t total_queries = 0;
+  double wall_seconds = 0;
+
+  double QueriesPerSecond() const {
+    return wall_seconds > 0 ? static_cast<double>(total_queries) / wall_seconds
+                            : 0;
+  }
+};
+
+/// Runs `body(thread, query)` for queries_per_thread queries on each of
+/// num_threads concurrent threads and reports aggregate queries/sec. All
+/// threads start together (latch-released) and the wall clock covers the
+/// whole batch, so the result is end-to-end system throughput — the metric
+/// for concurrent query streams, where the single-threaded per-query loops
+/// above (RunWorkload et al.) do not apply. `body` must be thread-safe.
+inline ThroughputResult MeasureThroughput(
+    std::size_t num_threads, std::size_t queries_per_thread,
+    const std::function<void(std::size_t thread, std::size_t query)>& body) {
+  ThroughputResult out;
+  out.num_threads = num_threads;
+  out.total_queries = num_threads * queries_per_thread;
+  std::latch start(static_cast<std::ptrdiff_t>(num_threads) + 1);
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      for (std::size_t q = 0; q < queries_per_thread; ++q) body(t, q);
+    });
+  }
+  WallTimer timer;
+  start.arrive_and_wait();  // release the workers; timing starts now
+  for (auto& thread : threads) thread.join();
+  out.wall_seconds = timer.ElapsedSeconds();
+  return out;
 }
 
 }  // namespace aidx::bench

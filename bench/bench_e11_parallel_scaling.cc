@@ -1,0 +1,175 @@
+// E11 — Parallel adaptive indexing: throughput scaling of the partitioned
+// cracker column (Alvarez et al., "Main Memory Adaptive Indexing for
+// Multi-core Systems" shape) over concurrent query streams.
+//
+// Two sweeps, both against the single-threaded crack baseline and the
+// coarse-latched crack (SerializedAccessPath — the "one big lock" lower
+// bound any real concurrency scheme must beat):
+//   1. queries/sec vs client thread count (1, 2, 4, 8) at 8 partitions;
+//   2. queries/sec vs partition count (1, 2, 4, 8, 16) at 4 client threads.
+//
+// Each configuration gets a fresh path, so adaptation (including the
+// first-query copy/scatter) is inside the measured window. Checksums are
+// compared across configurations, so a silent wrong answer fails loudly.
+// Note: scaling requires physical cores; on a 1-core host the partitioned
+// column should roughly tie the coarse latch, not beat it.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "exec/access_path.h"
+#include "exec/serialized_path.h"
+#include "workload/data_generator.h"
+#include "workload/query_generator.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+using namespace aidx;
+
+namespace {
+
+constexpr std::size_t kMaxThreads = 8;
+
+using Queries = std::vector<RangePredicate<std::int64_t>>;
+
+// One shared path, `threads` clients, disjoint query streams; returns
+// throughput and accumulates the result-count checksum.
+bench::ThroughputResult RunConcurrent(AccessPath<std::int64_t>& path,
+                                      const std::vector<Queries>& streams,
+                                      std::size_t threads,
+                                      std::size_t queries_per_thread,
+                                      std::uint64_t* checksum) {
+  std::atomic<std::uint64_t> counted{0};
+  const auto result = bench::MeasureThroughput(
+      threads, queries_per_thread, [&](std::size_t t, std::size_t q) {
+        counted.fetch_add(path.Count(streams[t][q]), std::memory_order_relaxed);
+      });
+  *checksum = counted.load();
+  return result;
+}
+
+std::string Format2(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", x);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("E11 parallel scaling",
+                     "multi-core adaptive indexing (Alvarez et al. / Graefe "
+                     "et al. follow-ups to the tutorial)");
+  const std::size_t n = bench::ColumnSize();
+  const std::size_t q = bench::NumQueries();
+  const std::size_t queries_per_thread = std::max<std::size_t>(q / kMaxThreads, 1);
+  std::cout << "column: " << n << " uniform int64, " << queries_per_thread
+            << " random queries per client thread, selectivity 0.1%\n"
+            << "hardware threads: " << std::thread::hardware_concurrency()
+            << "\n\n";
+
+  const auto data = GenerateData({.n = n, .domain = static_cast<std::int64_t>(n),
+                                  .distribution = DataDistribution::kUniform,
+                                  .seed = 7});
+  std::vector<Queries> streams;
+  streams.reserve(kMaxThreads);
+  for (std::size_t t = 0; t < kMaxThreads; ++t) {
+    streams.push_back(GenerateQueries({.pattern = QueryPattern::kRandom,
+                                       .num_queries = queries_per_thread,
+                                       .domain = static_cast<std::int64_t>(n),
+                                       .selectivity = 0.001,
+                                       .seed = 100 + t}));
+  }
+
+  // Single-threaded crack reference: one client, no latches at all.
+  std::uint64_t base_checksum = 0;
+  const auto single_path =
+      MakeAccessPath<std::int64_t>(data, StrategyConfig::Crack());
+  const auto single = RunConcurrent(*single_path, streams, 1, queries_per_thread,
+                                    &base_checksum);
+  std::cout << "single-threaded crack: "
+            << static_cast<std::size_t>(single.QueriesPerSecond())
+            << " queries/sec (1 thread, " << queries_per_thread << " queries)\n\n";
+
+  std::vector<std::vector<std::string>> csv_rows;
+
+  // Sweep 1: client threads at a fixed 8 partitions.
+  std::cout << "throughput vs client threads (8 partitions):\n";
+  TablePrinter by_threads(
+      {"threads", "pcrack q/s", "crack+latch q/s", "pcrack/latch"});
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    std::uint64_t parallel_sum = 0;
+    const auto parallel_path = MakeAccessPath<std::int64_t>(
+        data, StrategyConfig::ParallelCrack(8, /*threads=*/1));
+    const auto parallel = RunConcurrent(*parallel_path, streams, threads,
+                                        queries_per_thread, &parallel_sum);
+
+    std::uint64_t latched_sum = 0;
+    const auto latched_path =
+        MakeSerializedAccessPath<std::int64_t>(data, StrategyConfig::Crack());
+    const auto latched = RunConcurrent(*latched_path, streams, threads,
+                                       queries_per_thread, &latched_sum);
+
+    if (parallel_sum != latched_sum) {
+      std::cerr << "CHECKSUM MISMATCH at " << threads << " threads: pcrack "
+                << parallel_sum << " vs latched " << latched_sum << "\n";
+      return 1;
+    }
+    // At one thread the query set equals the baseline's, so the sweep is
+    // also anchored to the latch-free single-threaded truth.
+    if (threads == 1 && parallel_sum != base_checksum) {
+      std::cerr << "CHECKSUM MISMATCH vs single-threaded crack baseline\n";
+      return 1;
+    }
+    by_threads.AddRow(
+        {std::to_string(threads),
+         std::to_string(static_cast<std::size_t>(parallel.QueriesPerSecond())),
+         std::to_string(static_cast<std::size_t>(latched.QueriesPerSecond())),
+         Format2(parallel.QueriesPerSecond() / latched.QueriesPerSecond()) +
+             "x"});
+    csv_rows.push_back({"threads", std::to_string(threads),
+                        std::to_string(parallel.QueriesPerSecond()),
+                        std::to_string(latched.QueriesPerSecond())});
+  }
+  by_threads.Print(std::cout);
+
+  // Sweep 2: partition count at a fixed 4 client threads.
+  std::cout << "\nthroughput vs partitions (4 client threads):\n";
+  TablePrinter by_partitions({"partitions", "pcrack q/s"});
+  std::uint64_t expected_sum = 0;
+  bool have_expected = false;
+  for (const std::size_t partitions : {1u, 2u, 4u, 8u, 16u}) {
+    std::uint64_t sum = 0;
+    const auto path = MakeAccessPath<std::int64_t>(
+        data, StrategyConfig::ParallelCrack(partitions, /*threads=*/1));
+    const auto result =
+        RunConcurrent(*path, streams, 4, queries_per_thread, &sum);
+    if (!have_expected) {
+      expected_sum = sum;
+      have_expected = true;
+    } else if (sum != expected_sum) {
+      std::cerr << "CHECKSUM MISMATCH at " << partitions << " partitions\n";
+      return 1;
+    }
+    by_partitions.AddRow(
+        {std::to_string(partitions),
+         std::to_string(static_cast<std::size_t>(result.QueriesPerSecond()))});
+    csv_rows.push_back({"partitions", std::to_string(partitions),
+                        std::to_string(result.QueriesPerSecond()), ""});
+  }
+  by_partitions.Print(std::cout);
+
+  const std::string csv = bench::CsvPath("e11_parallel_scaling.csv");
+  if (!csv.empty()) {
+    const Status st =
+        WriteCsv(csv, {"sweep", "x", "pcrack_qps", "latched_qps"}, csv_rows);
+    if (st.ok()) std::cout << "\nseries written to " << csv << "\n";
+  }
+  return 0;
+}

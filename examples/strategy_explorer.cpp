@@ -2,7 +2,7 @@
 //
 //   ./build/examples/strategy_explorer [strategy] [pattern] [n] [q]
 //
-//   strategy: scan | sort | btree | crack | stochastic | merge |
+//   strategy: scan | sort | btree | crack | stochastic | merge | parallel |
 //             HCC | HCS | HCR | HSS | HSR | HRR          (default: crack)
 //   pattern : random | skewed | sequential | periodic | zoom-in |
 //             zoom-out | shifting-hotspot                 (default: random)
@@ -34,6 +34,7 @@ std::optional<StrategyConfig> ParseStrategy(const std::string& name,
   if (name == "btree") return StrategyConfig::BTree();
   if (name == "crack") return StrategyConfig::Crack();
   if (name == "stochastic") return StrategyConfig::StochasticCrack();
+  if (name == "parallel") return StrategyConfig::ParallelCrack();
   if (name == "merge") return StrategyConfig::AdaptiveMerge(part_size);
   if (name.size() == 3 && name[0] == 'H') {
     const auto mode = [](char c) -> std::optional<OrganizeMode> {
@@ -72,7 +73,7 @@ int main(int argc, char** argv) {
   const auto pattern = ParsePattern(pattern_name);
   if (!config || !pattern || n == 0 || q == 0) {
     std::cerr << "usage: strategy_explorer [strategy] [pattern] [n] [q]\n"
-              << "  strategies: scan sort btree crack stochastic merge "
+              << "  strategies: scan sort btree crack stochastic merge parallel "
                  "HCC HCS HCR HSS HSR HRR ...\n"
               << "  patterns:   ";
     for (const QueryPattern p : kAllQueryPatterns) {

@@ -3,9 +3,27 @@
 # tier-1 verification line from ROADMAP.md. Usage: scripts/check.sh
 # Extra cmake configure arguments are passed through, e.g.:
 #   scripts/check.sh -DCMAKE_BUILD_TYPE=Debug
+#
+# scripts/check.sh --tsan builds the concurrency suites under
+# ThreadSanitizer (separate build-tsan/ tree; benches and examples off for
+# speed) and runs the parallel tests — the same job CI runs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  shift
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DAIDX_BUILD_BENCHMARKS=OFF \
+    -DAIDX_BUILD_EXAMPLES=OFF \
+    "$@"
+  cmake --build build-tsan -j "$(nproc)"
+  ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+    -R 'PartitionedCracker|ThreadPool'
+  exit 0
+fi
 
 cmake -B build -S . "$@"
 cmake --build build -j "$(nproc)"

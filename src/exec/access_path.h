@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -20,10 +21,12 @@
 #include "index/btree.h"
 #include "index/scan.h"
 #include "index/sorted_index.h"
+#include "parallel/partitioned_cracker_column.h"
 #include "storage/predicate.h"
 #include "storage/types.h"
 #include "util/logging.h"
 #include "util/macros.h"
+#include "util/thread_pool.h"
 
 namespace aidx {
 
@@ -36,6 +39,7 @@ enum class StrategyKind : char {
   kStochasticCrack,  // cracking + random pre-cracks (convergence extension)
   kAdaptiveMerge,    // adaptive merging (EDBT'10)
   kHybrid,           // hybrid family (PVLDB'11): initial/final modes below
+  kParallelCrack,    // partitioned cracking with per-partition latches
 };
 
 /// A fully specified strategy: the kind plus its tuning knobs.
@@ -50,6 +54,10 @@ struct StrategyConfig {
   OrganizeMode hybrid_initial = OrganizeMode::kCrack;
   OrganizeMode hybrid_final = OrganizeMode::kCrack;
   int radix_bits = 6;
+  // Parallel cracking knobs (kParallelCrack): value-range partition count
+  // and the total threads fanning one query out (1 = no pool, run inline).
+  std::size_t num_partitions = 8;
+  std::size_t num_threads = 4;
   // Carry row ids (needed only when results must project other columns).
   bool with_row_ids = false;
 
@@ -69,6 +77,12 @@ struct StrategyConfig {
             .run_size = partition_size,
             .hybrid_initial = initial,
             .hybrid_final = final_mode};
+  }
+  static StrategyConfig ParallelCrack(std::size_t partitions = 8,
+                                      std::size_t threads = 4) {
+    return {.kind = StrategyKind::kParallelCrack,
+            .num_partitions = partitions,
+            .num_threads = threads};
   }
 
   /// Short display name used in figures and reports ("crack", "HCS", ...).
@@ -90,13 +104,25 @@ struct StrategyConfig {
       case StrategyKind::kHybrid:
         return std::string("H") + OrganizeModeLetter(hybrid_initial) +
                OrganizeModeLetter(hybrid_final);
+      case StrategyKind::kParallelCrack:
+        // Shape-changing knobs are part of the name so Database's per-name
+        // cache keeps differently shaped parallel paths apart (the seed,
+        // as for every strategy, is not — see the engine.h cache caveat).
+        // Comma-free: the name lands unquoted in CSV headers
+        // (workload/report.cc).
+        return "pcrack(" + std::to_string(num_partitions) + "x" +
+               std::to_string(num_threads) +
+               (min_piece_size > 0 ? "-p" + std::to_string(min_piece_size) : "") +
+               ")";
     }
     return "?";
   }
 };
 
 /// Uniform adaptive-query interface. Count and Sum *may reorganize data* —
-/// that is the point of adaptive indexing.
+/// that is the point of adaptive indexing. Paths are single-threaded
+/// unless noted; kParallelCrack's path is internally synchronized and may
+/// be shared across query threads (docs/CONCURRENCY.md).
 template <ColumnValue T>
 class AccessPath {
  public:
@@ -260,6 +286,45 @@ class HybridPath final : public AccessPath<T> {
   std::optional<HybridIndex<T>> index_;
 };
 
+// Partitioned parallel cracking. Unlike the other paths this one is safe
+// to share across threads: the column latches per partition, and the lazy
+// construction itself is guarded. The path owns the intra-query ThreadPool
+// (num_threads - 1 workers; the querying thread participates as the last).
+template <ColumnValue T>
+class ParallelCrackPath final : public AccessPath<T> {
+ public:
+  ParallelCrackPath(std::span<const T> base, const StrategyConfig& config)
+      : base_(base), config_(config) {}
+  std::string name() const override { return config_.DisplayName(); }
+  std::size_t Count(const RangePredicate<T>& pred) override {
+    return Column().Count(pred);
+  }
+  long double Sum(const RangePredicate<T>& pred) override {
+    return Column().Sum(pred);
+  }
+
+ private:
+  PartitionedCrackerColumn<T>& Column() {
+    std::call_once(init_, [this] {
+      if (config_.num_threads > 1) {
+        pool_ = std::make_unique<ThreadPool>(config_.num_threads - 1);
+      }
+      PartitionedCrackerOptions options;
+      options.num_partitions = config_.num_partitions;
+      options.column_options.with_row_ids = config_.with_row_ids;
+      options.column_options.min_piece_size = config_.min_piece_size;
+      options.splitter_seed = config_.seed;
+      column_.emplace(base_, options, pool_.get());
+    });
+    return *column_;
+  }
+  std::span<const T> base_;
+  StrategyConfig config_;
+  std::once_flag init_;
+  std::unique_ptr<ThreadPool> pool_;  // must outlive column_
+  std::optional<PartitionedCrackerColumn<T>> column_;
+};
+
 }  // namespace internal
 
 /// Builds an access path over a borrowed base column. The base span must
@@ -281,6 +346,8 @@ std::unique_ptr<AccessPath<T>> MakeAccessPath(std::span<const T> base,
       return std::make_unique<internal::AdaptiveMergePath<T>>(base, config);
     case StrategyKind::kHybrid:
       return std::make_unique<internal::HybridPath<T>>(base, config);
+    case StrategyKind::kParallelCrack:
+      return std::make_unique<internal::ParallelCrackPath<T>>(base, config);
   }
   AIDX_LOG(Fatal) << "unknown strategy kind";
   return nullptr;

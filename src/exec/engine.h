@@ -18,7 +18,10 @@
 // per (table, head column) and borrow the catalog's column storage, which
 // therefore must not be mutated while the Database lives. The type is
 // move-only and not thread-safe: callers wanting concurrency wrap paths in
-// SerializedAccessPath (exec/serialized_path.h) or shard by column.
+// SerializedAccessPath (exec/serialized_path.h), shard by column, or use
+// StrategyKind::kParallelCrack, whose access path latches internally at
+// partition granularity (docs/CONCURRENCY.md) — though the Database facade
+// itself (catalog and path cache) must still be externally serialized.
 //
 // Usage:
 //   Database db;

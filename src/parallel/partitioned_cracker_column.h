@@ -1,0 +1,350 @@
+// PartitionedCrackerColumn: parallel adaptive indexing by range partitioning.
+//
+// The design follows the two multi-core follow-ups to the EDBT 2012
+// tutorial (see docs/CONCURRENCY.md for the full model):
+//
+//  - Alvarez et al., "Main Memory Adaptive Indexing for Multi-core
+//    Systems": range-partition the base column into K partitions by value
+//    and crack each partition independently — cracks in one partition never
+//    move tuples in another, so disjoint partitions need no coordination.
+//  - Graefe et al., "Concurrency Control for Adaptive Indexing": every
+//    adaptive query is also a writer, so latch at the granularity of the
+//    structure actually reorganized. They latch individual pieces; we take
+//    the documented simplification of one latch per *partition* (the
+//    partition is our unit of reorganization), which keeps the protocol
+//    two-line simple while still letting queries over disjoint partitions
+//    crack fully concurrently.
+//
+// Ownership: a PartitionedCrackerColumn owns its K shards (each an
+// independent CrackerColumn plus one latch) and its splitter table; it
+// *borrows* an optional ThreadPool for intra-query fan-out and never owns
+// it — one pool typically serves many columns. The base span is copied at
+// construction (same contract as CrackerColumn).
+//
+// Thread safety: Count, Sum, Materialize*, AggregatedStats, and
+// ValidatePieces are safe to call from any number of threads concurrently;
+// each takes the latches of only the partitions the predicate overlaps.
+// Select (which returns raw per-partition position ranges) is the
+// exception: positions are only stable while no other thread cracks the
+// same partition, so it is for externally synchronized use — tests,
+// single-threaded tools. The latch order is strictly ascending partition
+// index and at most one latch is held at a time, so deadlock is impossible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/cracker_column.h"
+#include "storage/predicate.h"
+#include "storage/types.h"
+#include "util/logging.h"
+#include "util/macros.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace aidx {
+
+/// Tuning knobs for a partitioned cracker column.
+struct PartitionedCrackerOptions {
+  /// Requested partition count K. The effective count can be lower when the
+  /// data has fewer distinct values than K (duplicate splitters collapse).
+  std::size_t num_partitions = 8;
+  /// Applied to every per-partition CrackerColumn; the stochastic seed is
+  /// perturbed per partition so partitions do not pick identical pivots.
+  CrackerColumnOptions column_options = {};
+  /// Splitters are equi-depth quantiles of a sample this large.
+  std::size_t splitter_sample_size = 1024;
+  std::uint64_t splitter_seed = 0xA24BAED4963EE407ULL;
+};
+
+/// One partition's share of a fanned-out Select.
+struct PartitionSelect {
+  std::size_t partition = 0;
+  CrackSelect sel = {};
+};
+
+/// Per-partition results of PartitionedCrackerColumn::Select, in ascending
+/// partition order. Positions are local to each partition's cracked array.
+struct ParallelSelect {
+  std::vector<PartitionSelect> partitions;
+};
+
+template <ColumnValue T>
+class PartitionedCrackerColumn {
+ public:
+  /// Copies and scatters `base` into K value-range partitions. Row ids (when
+  /// enabled in the options) are global base-column offsets, so projections
+  /// compose with the rest of the system unchanged. `pool` is borrowed for
+  /// intra-query fan-out; nullptr runs partition work inline.
+  explicit PartitionedCrackerColumn(std::span<const T> base,
+                                    PartitionedCrackerOptions options = {},
+                                    ThreadPool* pool = nullptr)
+      : options_(options), pool_(pool), total_size_(base.size()) {
+    AIDX_CHECK(options_.num_partitions > 0);
+    splitters_ = PickSplitters(base);
+    const std::size_t k = splitters_.size() + 1;
+    std::vector<std::vector<T>> values(k);
+    std::vector<std::vector<row_id_t>> row_ids(k);
+    const bool with_rids = options_.column_options.with_row_ids;
+    for (auto& v : values) v.reserve(base.size() / k + 1);
+    if (with_rids) {
+      for (auto& r : row_ids) r.reserve(base.size() / k + 1);
+    }
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      const std::size_t p = PartitionOf(base[i]);
+      values[p].push_back(base[i]);
+      if (with_rids) row_ids[p].push_back(static_cast<row_id_t>(i));
+    }
+    shards_.reserve(k);
+    for (std::size_t p = 0; p < k; ++p) {
+      CrackerColumnOptions per_shard = options_.column_options;
+      per_shard.stochastic_seed += p;  // decorrelate stochastic pivots
+      shards_.push_back(std::make_unique<Shard>(std::move(values[p]),
+                                                std::move(row_ids[p]), per_shard));
+    }
+  }
+
+  AIDX_DEFAULT_MOVE_ONLY(PartitionedCrackerColumn);
+
+  /// Rows matching `pred` across all partitions (cracks as a side effect).
+  /// Thread-safe.
+  std::size_t Count(const RangePredicate<T>& pred) {
+    if (pred.DefinitelyEmpty()) return 0;
+    const auto [first, last] = OverlapRange(pred);
+    if (first == last) {  // common narrow-predicate case: no fan-out state
+      Shard& shard = *shards_[first];
+      const std::lock_guard<std::mutex> guard(shard.latch);
+      return shard.column.Count(pred);
+    }
+    std::vector<std::size_t> partial(last - first + 1, 0);
+    ForEachOverlapping(first, last, [&](std::size_t p, std::size_t slot) {
+      Shard& shard = *shards_[p];
+      const std::lock_guard<std::mutex> guard(shard.latch);
+      partial[slot] = shard.column.Count(pred);
+    });
+    std::size_t total = 0;
+    for (const std::size_t c : partial) total += c;
+    return total;
+  }
+
+  /// SUM of matching values across all partitions (cracks as a side
+  /// effect). Thread-safe.
+  long double Sum(const RangePredicate<T>& pred) {
+    if (pred.DefinitelyEmpty()) return 0;
+    const auto [first, last] = OverlapRange(pred);
+    if (first == last) {
+      Shard& shard = *shards_[first];
+      const std::lock_guard<std::mutex> guard(shard.latch);
+      return shard.column.Sum(pred);
+    }
+    std::vector<long double> partial(last - first + 1, 0);
+    ForEachOverlapping(first, last, [&](std::size_t p, std::size_t slot) {
+      Shard& shard = *shards_[p];
+      const std::lock_guard<std::mutex> guard(shard.latch);
+      partial[slot] = shard.column.Sum(pred);
+    });
+    long double total = 0;
+    for (const long double s : partial) total += s;
+    return total;
+  }
+
+  /// Appends matching values to `out`, grouped by ascending partition
+  /// (order within the result is unspecified, as for CrackerColumn whose
+  /// storage order is crack-dependent). Thread-safe: each partition is
+  /// selected and materialized under its latch, so concurrent cracks
+  /// cannot invalidate the positions in between.
+  void MaterializeValues(const RangePredicate<T>& pred, std::vector<T>* out) {
+    if (pred.DefinitelyEmpty()) return;
+    const auto [first, last] = OverlapRange(pred);
+    std::vector<std::vector<T>> partial(last - first + 1);
+    ForEachOverlapping(first, last, [&](std::size_t p, std::size_t slot) {
+      Shard& shard = *shards_[p];
+      const std::lock_guard<std::mutex> guard(shard.latch);
+      const CrackSelect sel = shard.column.Select(pred);
+      shard.column.MaterializeValues(sel, pred, &partial[slot]);
+    });
+    for (const auto& chunk : partial) {
+      out->insert(out->end(), chunk.begin(), chunk.end());
+    }
+  }
+
+  /// Appends the (global) row ids of matching values to `out`; same
+  /// grouping and thread-safety as MaterializeValues.
+  void MaterializeRowIds(const RangePredicate<T>& pred,
+                         std::vector<row_id_t>* out) {
+    AIDX_CHECK(options_.column_options.with_row_ids)
+        << "column built without row ids";
+    if (pred.DefinitelyEmpty()) return;
+    const auto [first, last] = OverlapRange(pred);
+    std::vector<std::vector<row_id_t>> partial(last - first + 1);
+    ForEachOverlapping(first, last, [&](std::size_t p, std::size_t slot) {
+      Shard& shard = *shards_[p];
+      const std::lock_guard<std::mutex> guard(shard.latch);
+      const CrackSelect sel = shard.column.Select(pred);
+      shard.column.MaterializeRowIds(sel, pred, &partial[slot]);
+    });
+    for (const auto& chunk : partial) {
+      out->insert(out->end(), chunk.begin(), chunk.end());
+    }
+  }
+
+  /// Fans the predicate out across the overlapping partitions and returns
+  /// the per-partition CrackSelect results. NOT safe under concurrent
+  /// queries: the returned positions are stable only until the next crack
+  /// of the same partition (see file comment). Prefer Count/Sum/
+  /// Materialize*, which resolve positions under the latch.
+  ParallelSelect Select(const RangePredicate<T>& pred) {
+    ParallelSelect out;
+    if (pred.DefinitelyEmpty()) return out;
+    const auto [first, last] = OverlapRange(pred);
+    out.partitions.resize(last - first + 1);
+    ForEachOverlapping(first, last, [&](std::size_t p, std::size_t slot) {
+      Shard& shard = *shards_[p];
+      const std::lock_guard<std::mutex> guard(shard.latch);
+      out.partitions[slot] = {p, shard.column.Select(pred)};
+    });
+    return out;
+  }
+
+  /// Sum of all partitions' CrackerStats. Thread-safe (takes each latch).
+  CrackerStats AggregatedStats() const {
+    CrackerStats total;
+    for (const auto& shard : shards_) {
+      const std::lock_guard<std::mutex> guard(shard->latch);
+      const CrackerStats& s = shard->column.stats();
+      total.num_selects += s.num_selects;
+      total.num_crack_in_two += s.num_crack_in_two;
+      total.num_crack_in_three += s.num_crack_in_three;
+      total.num_stochastic_cracks += s.num_stochastic_cracks;
+      total.values_touched += s.values_touched;
+    }
+    return total;
+  }
+
+  std::size_t size() const { return total_size_; }
+  std::size_t num_partitions() const { return shards_.size(); }
+  /// Partition p holds values v with splitters()[p-1] <= v < splitters()[p]
+  /// (unbounded at the extremes). Immutable after construction.
+  std::span<const T> splitters() const { return splitters_; }
+  const PartitionedCrackerOptions& options() const { return options_; }
+
+  /// Read access to one partition's column, for tests and tools. The
+  /// reference is unsynchronized: callers must ensure no concurrent
+  /// queries while holding it.
+  const CrackerColumn<T>& partition(std::size_t p) const {
+    AIDX_CHECK(p < shards_.size());
+    return shards_[p]->column;
+  }
+
+  /// Full invariant sweep: every partition validates its own pieces, sizes
+  /// add up, and every partition's values respect the splitter bounds.
+  /// O(n); tests only. Thread-safe.
+  bool ValidatePieces() const {
+    std::size_t seen = 0;
+    for (std::size_t p = 0; p < shards_.size(); ++p) {
+      const std::lock_guard<std::mutex> guard(shards_[p]->latch);
+      const CrackerColumn<T>& column = shards_[p]->column;
+      if (!column.ValidatePieces()) return false;
+      seen += column.size();
+      for (const T v : column.values()) {
+        if (p > 0 && v < splitters_[p - 1]) return false;
+        if (p < splitters_.size() && !(v < splitters_[p])) return false;
+      }
+    }
+    return seen == total_size_;
+  }
+
+ private:
+  struct Shard {
+    Shard(std::vector<T> values, std::vector<row_id_t> row_ids,
+          const CrackerColumnOptions& opts)
+        : column(std::move(values), std::move(row_ids), opts) {}
+    mutable std::mutex latch;  // guards `column`, including its stats
+    CrackerColumn<T> column;
+  };
+
+  /// Equi-depth splitters from a value sample; sorted and distinct, so the
+  /// effective partition count is splitters.size() + 1 <= num_partitions.
+  std::vector<T> PickSplitters(std::span<const T> base) {
+    const std::size_t k = options_.num_partitions;
+    if (k <= 1 || base.size() < 2) return {};
+    std::vector<T> sample;
+    if (base.size() <= options_.splitter_sample_size) {
+      sample.assign(base.begin(), base.end());
+    } else {
+      Rng rng(options_.splitter_seed);
+      sample.reserve(options_.splitter_sample_size);
+      for (std::size_t i = 0; i < options_.splitter_sample_size; ++i) {
+        sample.push_back(base[rng.NextBounded(base.size())]);
+      }
+    }
+    std::sort(sample.begin(), sample.end());
+    std::vector<T> splitters;
+    splitters.reserve(k - 1);
+    for (std::size_t s = 1; s < k; ++s) {
+      const T candidate = sample[s * sample.size() / k];
+      // Skipping candidates equal to the sample minimum avoids a
+      // permanently empty partition 0; with a full sample this also caps
+      // the partition count at the number of distinct values.
+      if (candidate == sample.front()) continue;
+      if (splitters.empty() || splitters.back() < candidate) {
+        splitters.push_back(candidate);
+      }
+    }
+    return splitters;
+  }
+
+  /// Index of the partition that stores value v.
+  std::size_t PartitionOf(T v) const {
+    // Number of splitters <= v (partition p starts at splitter p-1).
+    return static_cast<std::size_t>(
+        std::upper_bound(splitters_.begin(), splitters_.end(), v) -
+        splitters_.begin());
+  }
+
+  /// [first, last] partition indices the predicate can match. Routing is
+  /// exact for realized bound kinds: an exclusive upper bound equal to a
+  /// splitter stops at the partition below it.
+  std::pair<std::size_t, std::size_t> OverlapRange(
+      const RangePredicate<T>& pred) const {
+    std::size_t first = 0;
+    std::size_t last = shards_.size() - 1;
+    if (pred.low_kind != BoundKind::kUnbounded) first = PartitionOf(pred.low);
+    if (pred.high_kind == BoundKind::kInclusive) {
+      last = PartitionOf(pred.high);
+    } else if (pred.high_kind == BoundKind::kExclusive) {
+      // Values < high live below the first splitter >= high.
+      last = static_cast<std::size_t>(
+          std::lower_bound(splitters_.begin(), splitters_.end(), pred.high) -
+          splitters_.begin());
+    }
+    // low <= high after the DefinitelyEmpty early-out, hence first <= last.
+    AIDX_DCHECK(first <= last);
+    return {first, last};
+  }
+
+  /// Runs fn(partition, slot) for every partition in [first, last], on the
+  /// borrowed pool when one is present and the fan-out is wider than one.
+  template <typename Fn>
+  void ForEachOverlapping(std::size_t first, std::size_t last, Fn&& fn) {
+    const std::size_t count = last - first + 1;
+    if (pool_ != nullptr && count > 1) {
+      pool_->ParallelFor(count,
+                         [&](std::size_t slot) { fn(first + slot, slot); });
+    } else {
+      for (std::size_t slot = 0; slot < count; ++slot) fn(first + slot, slot);
+    }
+  }
+
+  PartitionedCrackerOptions options_;
+  ThreadPool* pool_;  // borrowed; may be null
+  std::size_t total_size_;
+  std::vector<T> splitters_;  // immutable after construction
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace aidx

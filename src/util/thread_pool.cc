@@ -1,0 +1,102 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace aidx {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> guard(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  AIDX_CHECK(task != nullptr);
+  {
+    const std::lock_guard<std::mutex> guard(mu_);
+    AIDX_CHECK(!stopping_) << "Submit on a stopping ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;  // pending-but-unstarted tasks are dropped
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// Shared state of one ParallelFor call. Helper tasks hold it via
+// shared_ptr, so a helper that is dequeued only after the loop already
+// completed (every index claimed by faster threads) still finds valid
+// state, sees next >= total, and exits without touching `fn`.
+struct ParallelForState {
+  std::function<void(std::size_t)> fn;
+  std::size_t total = 0;
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t completed = 0;
+};
+
+void DrainIterations(const std::shared_ptr<ParallelForState>& state) {
+  std::size_t finished = 0;
+  for (;;) {
+    const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state->total) break;
+    state->fn(i);
+    ++finished;
+  }
+  if (finished == 0) return;
+  const std::lock_guard<std::mutex> guard(state->mu);
+  state->completed += finished;
+  if (state->completed == state->total) state->done_cv.notify_all();
+}
+
+}  // namespace
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto state = std::make_shared<ParallelForState>();
+  state->fn = fn;
+  state->total = n;
+  // At most n-1 helpers: the caller claims at least one iteration itself.
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    Submit([state] { DrainIterations(state); });
+  }
+  DrainIterations(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&state] { return state->completed == state->total; });
+}
+
+}  // namespace aidx

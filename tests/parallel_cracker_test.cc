@@ -1,0 +1,297 @@
+// PartitionedCrackerColumn correctness: result equivalence against the
+// single-threaded CrackerColumn oracle under random workloads, partition
+// boundary edge cases (predicates spanning all/one/zero partitions and
+// landing exactly on splitters), and a concurrent-select stress test
+// (N threads x M queries, every count checked against a scan oracle).
+// The stress tests are the payload of the ThreadSanitizer CI job.
+#include "parallel/partitioned_cracker_column.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "exec/access_path.h"
+#include "index/scan.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace aidx {
+namespace {
+
+using Pred = RangePredicate<std::int64_t>;
+using Column = PartitionedCrackerColumn<std::int64_t>;
+
+std::vector<std::int64_t> RandomValues(std::size_t n, std::int64_t domain,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.NextBounded(domain));
+  return v;
+}
+
+Pred RandomPredicate(Rng* rng, std::int64_t domain) {
+  const auto a = rng->NextInRange(-5, domain + 5);
+  const auto width = rng->NextInRange(0, domain / 4);
+  const auto kind = [&]() -> BoundKind {
+    switch (rng->NextBounded(3)) {
+      case 0: return BoundKind::kInclusive;
+      case 1: return BoundKind::kExclusive;
+      default: return BoundKind::kUnbounded;
+    }
+  };
+  return Pred{a, kind(), a + width, kind()};
+}
+
+TEST(PartitionedCrackerTest, CountMatchesCrackerColumnOnRandomWorkload) {
+  const auto base = RandomValues(20000, 4000, 42);
+  Column parallel(base, {.num_partitions = 8});
+  CrackerColumn<std::int64_t> single(base);
+  Rng rng(99);
+  for (int q = 0; q < 300; ++q) {
+    const Pred p = RandomPredicate(&rng, 4000);
+    ASSERT_EQ(parallel.Count(p), single.Count(p)) << p.ToString();
+  }
+  EXPECT_TRUE(parallel.ValidatePieces());
+  EXPECT_TRUE(single.ValidatePieces());
+}
+
+TEST(PartitionedCrackerTest, SumMatchesCrackerColumnOnRandomWorkload) {
+  const auto base = RandomValues(10000, 2000, 7);
+  Column parallel(base, {.num_partitions = 5});
+  CrackerColumn<std::int64_t> single(base);
+  Rng rng(8);
+  for (int q = 0; q < 150; ++q) {
+    const Pred p = RandomPredicate(&rng, 2000);
+    // Values are integers small enough that long double sums are exact.
+    ASSERT_EQ(parallel.Sum(p), single.Sum(p)) << p.ToString();
+  }
+}
+
+TEST(PartitionedCrackerTest, MaterializedValuesMatchScanMultiset) {
+  const auto base = RandomValues(5000, 300, 13);
+  Column col(base, {.num_partitions = 4});
+  Rng rng(14);
+  for (int q = 0; q < 40; ++q) {
+    const Pred p = RandomPredicate(&rng, 300);
+    std::vector<std::int64_t> got;
+    col.MaterializeValues(p, &got);
+    std::vector<std::int64_t> expect;
+    ScanValues<std::int64_t>(base, p, &expect);
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(got, expect) << p.ToString();
+  }
+}
+
+TEST(PartitionedCrackerTest, RowIdsAreGlobalBaseOffsets) {
+  const auto base = RandomValues(3000, 200, 17);
+  PartitionedCrackerOptions options{.num_partitions = 6};
+  options.column_options.with_row_ids = true;
+  Column col(base, options);
+  const Pred p = Pred::Between(50, 120);
+  std::vector<row_id_t> got;
+  col.MaterializeRowIds(p, &got);
+  std::vector<row_id_t> expect;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (p.Matches(base[i])) expect.push_back(static_cast<row_id_t>(i));
+  }
+  std::sort(got.begin(), got.end());
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(got, expect);
+}
+
+TEST(PartitionedCrackerTest, PredicateSpanningAllPartitions) {
+  const auto base = RandomValues(4000, 1000, 3);
+  Column col(base, {.num_partitions = 8});
+  EXPECT_EQ(col.Count(Pred::All()), base.size());
+  const auto sel = col.Select(Pred::All());
+  EXPECT_EQ(sel.partitions.size(), col.num_partitions());
+}
+
+TEST(PartitionedCrackerTest, PredicateInsideOnePartition) {
+  // Known data 0..999 with K=4: a narrow range lands in one partition.
+  std::vector<std::int64_t> base(1000);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base[i] = static_cast<std::int64_t>((i * 7919) % 1000);  // shuffled 0..999
+  }
+  Column col(base, {.num_partitions = 4});
+  ASSERT_EQ(col.num_partitions(), 4u);
+  const auto splitters = col.splitters();
+  // A range strictly between the first two splitters touches one partition.
+  const std::int64_t lo = splitters[0] + 1;
+  const std::int64_t hi = splitters[1] - 1;
+  ASSERT_LT(lo, hi);
+  const auto sel = col.Select(Pred::HalfOpen(lo, hi));
+  EXPECT_EQ(sel.partitions.size(), 1u);
+  EXPECT_EQ(col.Count(Pred::HalfOpen(lo, hi)),
+            ScanCount<std::int64_t>(base, Pred::HalfOpen(lo, hi)));
+}
+
+TEST(PartitionedCrackerTest, PredicateMatchingNothing) {
+  const auto base = RandomValues(2000, 500, 21);
+  Column col(base, {.num_partitions = 4});
+  EXPECT_EQ(col.Count(Pred::Between(1000, 2000)), 0u);   // above the domain
+  EXPECT_EQ(col.Count(Pred::Between(-50, -1)), 0u);      // below the domain
+  EXPECT_EQ(col.Count(Pred::HalfOpen(100, 100)), 0u);    // syntactically empty
+  const auto sel = col.Select(Pred::HalfOpen(100, 100));
+  EXPECT_TRUE(sel.partitions.empty());
+}
+
+TEST(PartitionedCrackerTest, BoundsExactlyOnSplitters) {
+  const auto base = RandomValues(6000, 600, 23);
+  Column col(base, {.num_partitions = 6});
+  for (const std::int64_t s : col.splitters()) {
+    for (const Pred& p :
+         {Pred::Between(s, s), Pred::HalfOpen(s, s + 10), Pred::LessThan(s),
+          Pred::AtMost(s), Pred::GreaterThan(s), Pred::AtLeast(s)}) {
+      ASSERT_EQ(col.Count(p), ScanCount<std::int64_t>(base, p)) << p.ToString();
+    }
+  }
+  EXPECT_TRUE(col.ValidatePieces());
+}
+
+TEST(PartitionedCrackerTest, SinglePartitionBehavesLikeCrackerColumn) {
+  const auto base = RandomValues(3000, 700, 29);
+  Column parallel(base, {.num_partitions = 1});
+  CrackerColumn<std::int64_t> single(base);
+  EXPECT_EQ(parallel.num_partitions(), 1u);
+  Rng rng(30);
+  for (int q = 0; q < 100; ++q) {
+    const Pred p = RandomPredicate(&rng, 700);
+    ASSERT_EQ(parallel.Count(p), single.Count(p)) << p.ToString();
+  }
+  // Identical cracks, too: one partition means the same piece structure.
+  EXPECT_EQ(parallel.AggregatedStats().num_crack_in_two,
+            single.stats().num_crack_in_two);
+}
+
+TEST(PartitionedCrackerTest, MorePartitionsThanDistinctValues) {
+  const auto base = RandomValues(500, 5, 31);  // 5 distinct values, K=64
+  Column col(base, {.num_partitions = 64});
+  EXPECT_LE(col.num_partitions(), 5u);
+  for (std::int64_t v = -1; v <= 5; ++v) {
+    const Pred p = Pred::Between(v, v);
+    ASSERT_EQ(col.Count(p), ScanCount<std::int64_t>(base, p)) << p.ToString();
+  }
+}
+
+TEST(PartitionedCrackerTest, AllDuplicates) {
+  const std::vector<std::int64_t> base(1000, 77);
+  Column col(base, {.num_partitions = 8});
+  EXPECT_EQ(col.num_partitions(), 1u);  // one distinct value, no splitters
+  EXPECT_EQ(col.Count(Pred::Between(77, 77)), 1000u);
+  EXPECT_EQ(col.Count(Pred::LessThan(77)), 0u);
+  EXPECT_TRUE(col.ValidatePieces());
+}
+
+TEST(PartitionedCrackerTest, EmptyColumn) {
+  Column col(std::span<const std::int64_t>{}, {.num_partitions = 4});
+  EXPECT_EQ(col.size(), 0u);
+  EXPECT_EQ(col.Count(Pred::Between(1, 10)), 0u);
+  EXPECT_TRUE(col.ValidatePieces());
+}
+
+TEST(PartitionedCrackerTest, StatsAggregateAcrossPartitions) {
+  const auto base = RandomValues(8000, 1000, 37);
+  Column col(base, {.num_partitions = 4});
+  Rng rng(38);
+  for (int q = 0; q < 50; ++q) col.Count(RandomPredicate(&rng, 1000));
+  const CrackerStats stats = col.AggregatedStats();
+  EXPECT_GT(stats.num_selects, 0u);
+  EXPECT_GT(stats.num_crack_in_two + stats.num_crack_in_three, 0u);
+  std::size_t per_partition_selects = 0;
+  for (std::size_t p = 0; p < col.num_partitions(); ++p) {
+    per_partition_selects += col.partition(p).stats().num_selects;
+  }
+  EXPECT_EQ(stats.num_selects, per_partition_selects);
+}
+
+TEST(PartitionedCrackerTest, IntraQueryPoolGivesSameAnswers) {
+  const auto base = RandomValues(20000, 3000, 41);
+  ThreadPool pool(3);
+  Column with_pool(base, {.num_partitions = 8}, &pool);
+  Column without_pool(base, {.num_partitions = 8});
+  Rng rng(43);
+  for (int q = 0; q < 200; ++q) {
+    const Pred p = RandomPredicate(&rng, 3000);
+    ASSERT_EQ(with_pool.Count(p), without_pool.Count(p)) << p.ToString();
+  }
+  EXPECT_TRUE(with_pool.ValidatePieces());
+}
+
+// The headline concurrency test: N threads x M queries against one shared
+// column, every per-query count verified against the immutable base via a
+// scan oracle. Runs under TSan in CI (scripts/check.sh --tsan).
+TEST(PartitionedCrackerTest, ConcurrentSelectStress) {
+  constexpr std::size_t kThreads = 8;
+  constexpr int kQueriesPerThread = 150;
+  constexpr std::int64_t kDomain = 2000;
+  const auto base = RandomValues(30000, kDomain, 47);
+  Column col(base, {.num_partitions = 8});
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        const Pred p = RandomPredicate(&rng, kDomain);
+        const std::size_t got = col.Count(p);
+        const std::size_t expect = ScanCount<std::int64_t>(base, p);
+        if (got != expect) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(col.ValidatePieces());
+}
+
+// Same stress through the AccessPath layer: concurrent Count on a shared
+// kParallelCrack path, including the racy lazy-construction moment. The
+// intra-query pool (num_threads = 2) and the client threads compose.
+TEST(PartitionedCrackerTest, ConcurrentAccessPathStress) {
+  constexpr std::size_t kThreads = 6;
+  constexpr int kQueriesPerThread = 100;
+  constexpr std::int64_t kDomain = 1500;
+  const auto base = RandomValues(20000, kDomain, 53);
+  const auto path =
+      MakeAccessPath<std::int64_t>(base, StrategyConfig::ParallelCrack(8, 2));
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(2000 + t);
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        const Pred p = RandomPredicate(&rng, kDomain);
+        if (path->Count(p) != ScanCount<std::int64_t>(base, p)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(PartitionedCrackerTest, ParallelCrackPathMatchesCrackPath) {
+  const auto base = RandomValues(10000, 2500, 59);
+  const auto parallel =
+      MakeAccessPath<std::int64_t>(base, StrategyConfig::ParallelCrack(4, 1));
+  const auto crack = MakeAccessPath<std::int64_t>(base, StrategyConfig::Crack());
+  Rng rng(60);
+  for (int q = 0; q < 100; ++q) {
+    const Pred p = RandomPredicate(&rng, 2500);
+    ASSERT_EQ(parallel->Count(p), crack->Count(p)) << p.ToString();
+  }
+  EXPECT_EQ(parallel->name(), "pcrack(4x1)");
+}
+
+}  // namespace
+}  // namespace aidx
