@@ -1,6 +1,8 @@
 // E4 — Cracking under updates (SIGMOD'07 Figs. 7/9 shape): per-query cost
 // with interleaved inserts under the three merge policies, plus an update
-// frequency / batch-size sweep.
+// frequency / batch-size sweep. Runs through the uniform AccessPath
+// interface — the exact code path Database DML users hit — with the merge
+// policy selected via StrategyConfig::merge_policy.
 //
 // Expected shape: MRI (ripple) stays low and smooth; MCI (complete) spikes
 // on the first query after each batch; MGI sits between. Totals degrade
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "exec/access_path.h"
 #include "update/updatable_column.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -28,7 +31,8 @@ struct UpdateRun {
 };
 
 /// Runs Q queries; before every `every`-th query, `batch` fresh inserts
-/// arrive. Construction of the column is charged to the first query.
+/// arrive through AccessPath::InsertBatch. Construction of the path's
+/// structure is charged to the first query, as everywhere.
 UpdateRun RunWithUpdates(const std::vector<std::int64_t>& base,
                          std::span<const RangePredicate<std::int64_t>> queries,
                          MergePolicy policy, std::size_t every, std::size_t batch,
@@ -36,21 +40,21 @@ UpdateRun RunWithUpdates(const std::vector<std::int64_t>& base,
   UpdateRun out;
   out.policy = MergePolicyName(policy);
   Rng rng(99);
-  std::unique_ptr<UpdatableCrackerColumn<std::int64_t>> col;
+  StrategyConfig config = StrategyConfig::Crack();
+  config.merge_policy = policy;
+  std::unique_ptr<AccessPath<std::int64_t>> path;
+  std::vector<std::int64_t> fresh(batch);
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    if (col != nullptr && every != 0 && i % every == 0 && i > 0) {
-      for (std::size_t b = 0; b < batch; ++b) {
-        col->Insert(static_cast<std::int64_t>(
-            rng.NextBounded(static_cast<std::uint64_t>(domain))));
+    if (path != nullptr && every != 0 && i % every == 0 && i > 0) {
+      for (auto& v : fresh) {
+        v = static_cast<std::int64_t>(
+            rng.NextBounded(static_cast<std::uint64_t>(domain)));
       }
+      path->InsertBatch(fresh);
     }
     WallTimer t;
-    if (col == nullptr) {
-      col = std::make_unique<UpdatableCrackerColumn<std::int64_t>>(
-          base, typename UpdatableCrackerColumn<std::int64_t>::Options{
-                    .policy = policy});
-    }
-    out.checksum += col->Count(queries[i]);
+    if (path == nullptr) path = MakeAccessPath<std::int64_t>(base, config);
+    out.checksum += path->Count(queries[i]);
     out.per_query_seconds.push_back(t.ElapsedSeconds());
   }
   return out;

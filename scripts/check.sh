@@ -7,6 +7,11 @@
 # scripts/check.sh --tsan builds the concurrency suites under
 # ThreadSanitizer (separate build-tsan/ tree; benches and examples off for
 # speed) and runs the parallel tests — the same job CI runs.
+#
+# scripts/check.sh --asan builds the full test suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer (separate build-asan/
+# tree) — ripple merges, delta buffers, and segment appends are exactly
+# where memory bugs hide. Also a CI job.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,6 +27,19 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build build-tsan -j "$(nproc)"
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
     -R 'PartitionedCracker|ThreadPool'
+  exit 0
+fi
+
+if [[ "${1:-}" == "--asan" ]]; then
+  shift
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    -DAIDX_BUILD_BENCHMARKS=OFF \
+    -DAIDX_BUILD_EXAMPLES=OFF \
+    "$@"
+  cmake --build build-asan -j "$(nproc)"
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
   exit 0
 fi
 

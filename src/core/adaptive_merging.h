@@ -37,6 +37,10 @@ struct AdaptiveMergingStats {
   std::size_t values_merged = 0;       // migrated into the final B+ tree
   std::size_t runs_exhausted = 0;      // runs whose data fully migrated
   std::size_t merge_queries = 0;       // queries that had to touch runs
+  std::size_t inserts_queued = 0;      // Insert calls accepted
+  std::size_t inserts_absorbed = 0;    // pending tuples turned into runs/tree
+  std::size_t inserts_cancelled = 0;   // pending tuples annihilated by deletes
+  std::size_t values_deleted = 0;      // tuples erased from the final tree
 };
 
 template <ColumnValue T>
@@ -56,6 +60,7 @@ class AdaptiveMergingIndex {
   explicit AdaptiveMergingIndex(std::span<const T> base, Options options = {})
       : options_(options),
         total_size_(base.size()),
+        next_rid_(static_cast<row_id_t>(base.size())),
         final_tree_({.leaf_capacity = options.tree_leaf_capacity,
                      .internal_fanout = options.tree_internal_fanout,
                      .with_row_ids = options.with_row_ids}) {
@@ -91,10 +96,38 @@ class AdaptiveMergingIndex {
 
   AIDX_DEFAULT_MOVE_ONLY(AdaptiveMergingIndex);
 
+  /// Queues an insert; the next query absorbs all pending inserts as one
+  /// fresh sorted run (the "pending run" treatment of adaptive merging).
+  /// Returns the fresh tuple's row id.
+  row_id_t Insert(T value) {
+    pending_.push_back({value, next_rid_});
+    ++stats_.inserts_queued;
+    return next_rid_++;
+  }
+
+  /// Deletes one tuple equal to `value`: cancels a pending insert when one
+  /// matches, otherwise forces the [value, value] key range to merge (a
+  /// delete is a query) and erases from the final tree. False when absent.
+  bool Delete(T value) {
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].value == value) {
+        pending_[i] = pending_.back();
+        pending_.pop_back();
+        ++stats_.inserts_cancelled;
+        return true;
+      }
+    }
+    EnsureMerged(CutRangeForPredicate(RangePredicate<T>::Between(value, value)));
+    if (!final_tree_.EraseOne(value)) return false;
+    ++stats_.values_deleted;
+    return true;
+  }
+
   /// Rows matching the predicate; merges missing key ranges as a side effect.
   std::size_t Count(const RangePredicate<T>& pred) {
     ++stats_.num_queries;
     if (pred.DefinitelyEmpty()) return 0;
+    AbsorbPending();
     EnsureMerged(CutRangeForPredicate(pred));
     return final_tree_.CountRange(pred);
   }
@@ -103,6 +136,7 @@ class AdaptiveMergingIndex {
   long double Sum(const RangePredicate<T>& pred) {
     ++stats_.num_queries;
     if (pred.DefinitelyEmpty()) return 0;
+    AbsorbPending();
     EnsureMerged(CutRangeForPredicate(pred));
     return final_tree_.SumRange(pred);
   }
@@ -112,6 +146,7 @@ class AdaptiveMergingIndex {
                    std::vector<row_id_t>* rids) {
     ++stats_.num_queries;
     if (pred.DefinitelyEmpty()) return;
+    AbsorbPending();
     EnsureMerged(CutRangeForPredicate(pred));
     final_tree_.VisitRange(pred, [&](T v, row_id_t r) {
       values->push_back(v);
@@ -121,12 +156,20 @@ class AdaptiveMergingIndex {
 
   const AdaptiveMergingStats& stats() const { return stats_; }
   std::size_t num_runs() const { return runs_.size(); }
-  /// True once every value has migrated into the final B+ tree.
-  bool fully_merged() const { return stats_.values_merged == total_size_; }
+  std::size_t num_pending_inserts() const { return pending_.size(); }
+  /// True once every live value has migrated into the final B+ tree.
+  bool fully_merged() const {
+    if (!pending_.empty()) return false;
+    for (const Run& run : runs_) {
+      if (run.live_count > 0) return false;
+    }
+    return true;
+  }
   const BPlusTree<T>& final_tree() const { return final_tree_; }
 
   /// Structural invariants: run ordering, live-interval accounting, and
-  /// global conservation (live values + merged values == column size).
+  /// global conservation (live values + merged values == initial size plus
+  /// absorbed inserts; the tree holds merged minus deleted values).
   bool Validate() const {
     if (!final_tree_.Validate()) return false;
     std::size_t live_total = 0;
@@ -145,8 +188,12 @@ class AdaptiveMergingIndex {
       if (live_in_run != run.live_count) return false;
       live_total += live_in_run;
     }
-    if (live_total + stats_.values_merged != total_size_) return false;
-    if (final_tree_.size() != stats_.values_merged) return false;
+    if (live_total + stats_.values_merged != total_size_ + stats_.inserts_absorbed) {
+      return false;
+    }
+    if (final_tree_.size() != stats_.values_merged - stats_.values_deleted) {
+      return false;
+    }
     return merged_.Validate();
   }
 
@@ -157,6 +204,58 @@ class AdaptiveMergingIndex {
     std::vector<PositionRange> live;  // not-yet-extracted position intervals
     std::size_t live_count = 0;
   };
+  struct PendingTuple {
+    T value;
+    row_id_t rid;
+  };
+
+  /// Turns the pending inserts into one fresh sorted run. Sub-ranges whose
+  /// keys already migrated are extracted into the final tree on the spot
+  /// (they would otherwise hide behind the merged-range bookkeeping); the
+  /// rest stays live in the run and merges adaptively like initial data.
+  void AbsorbPending() {
+    if (pending_.empty()) return;
+    const std::size_t n = pending_.size();
+    std::sort(pending_.begin(), pending_.end(),
+              [](const PendingTuple& a, const PendingTuple& b) {
+                return a.value < b.value;
+              });
+    Run run;
+    run.values.reserve(n);
+    if (options_.with_row_ids) run.rids.reserve(n);
+    for (const PendingTuple& t : pending_) {
+      run.values.push_back(t.value);
+      if (options_.with_row_ids) run.rids.push_back(t.rid);
+    }
+    pending_.clear();
+    stats_.inserts_absorbed += n;
+
+    std::vector<PositionRange> dead;  // positions in already-merged ranges
+    merged_.VisitRanges([&](const CutRange<T>& r) {
+      const std::size_t lo = PositionOfCut(run.values, r.lo);
+      const std::size_t hi = PositionOfCut(run.values, r.hi);
+      if (hi > lo) dead.push_back({lo, hi});
+    });
+    std::size_t cursor = 0;
+    for (const PositionRange& d : dead) {
+      if (cursor < d.begin) {
+        run.live.push_back({cursor, d.begin});
+        run.live_count += d.begin - cursor;
+      }
+      final_tree_.InsertSortedBatch(
+          std::span<const T>(run.values).subspan(d.begin, d.size()),
+          options_.with_row_ids
+              ? std::span<const row_id_t>(run.rids).subspan(d.begin, d.size())
+              : std::span<const row_id_t>{});
+      stats_.values_merged += d.size();
+      cursor = d.end;
+    }
+    if (cursor < n) {
+      run.live.push_back({cursor, n});
+      run.live_count += n - cursor;
+    }
+    if (run.live_count > 0) runs_.push_back(std::move(run));
+  }
 
   /// Position of a cut in a sorted array: the count of values Below(cut).
   static std::size_t PositionOfCut(const std::vector<T>& sorted, const Cut<T>& cut) {
@@ -221,6 +320,8 @@ class AdaptiveMergingIndex {
   Options options_;
   std::size_t total_size_;
   std::vector<Run> runs_;
+  std::vector<PendingTuple> pending_;  // inserts awaiting absorption
+  row_id_t next_rid_ = 0;              // fresh row ids continue past the base
   BPlusTree<T> final_tree_;
   CutIntervalSet<T> merged_;
   AdaptiveMergingStats stats_;

@@ -10,6 +10,7 @@
 
 #include <limits>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "core/cut.h"
@@ -120,6 +121,20 @@ class CutIntervalSet {
     }
     if (cursor < range.hi) out.push_back({cursor, range.hi});
     return out;
+  }
+
+  /// The stored range containing value `v`, if any. Used by the update
+  /// pipeline to route fresh tuples whose key range has already migrated.
+  std::optional<CutRange<T>> FindContaining(T v) const {
+    // A range start lo lies above v exactly when lo > (v, kLess) in cut
+    // order (this catches lo == (v, kLessEq), which excludes v); the
+    // predecessor of the first such range is the only candidate.
+    auto it = map_.upper_bound(Cut<T>{v, CutKind::kLess});
+    if (it == map_.begin()) return std::nullopt;
+    const auto& [lo, hi] = *std::prev(it);
+    const CutRange<T> range{lo, hi};
+    if (range.Contains(v)) return range;
+    return std::nullopt;
   }
 
   std::size_t num_ranges() const { return map_.size(); }

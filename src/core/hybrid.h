@@ -61,6 +61,10 @@ struct HybridStats {
   std::size_t partitions_exhausted = 0;
   std::size_t final_segments = 0;
   std::size_t merge_queries = 0;
+  std::size_t inserts_queued = 0;    // Insert calls accepted
+  std::size_t inserts_absorbed = 0;  // pending tuples placed in the index
+  std::size_t inserts_cancelled = 0; // pending tuples annihilated by deletes
+  std::size_t values_deleted = 0;    // tuples erased from final segments
 };
 
 template <ColumnValue T>
@@ -84,7 +88,9 @@ class HybridIndex {
   /// Splits the base column into unorganized initial partitions. Cheap
   /// (one copy); the per-policy organization happens lazily on first touch.
   explicit HybridIndex(std::span<const T> base, Options options = {})
-      : options_(options), total_size_(base.size()) {
+      : options_(options),
+        total_size_(base.size()),
+        next_rid_(static_cast<row_id_t>(base.size())) {
     AIDX_CHECK(options_.partition_size >= 1);
     for (std::size_t at = 0; at < base.size(); at += options_.partition_size) {
       const std::size_t n = std::min(options_.partition_size, base.size() - at);
@@ -110,10 +116,41 @@ class HybridIndex {
     return NameOf(options_.initial_mode, options_.final_mode);
   }
 
+  /// Queues an insert; the next query absorbs all pending inserts — values
+  /// whose key range already migrated go straight into the covering final
+  /// segment, the rest forms a fresh initial partition (the PVLDB'11
+  /// natural fit: new data is just another partition to merge from).
+  /// Returns the fresh tuple's row id.
+  row_id_t Insert(T value) {
+    pending_.push_back({value, next_rid_});
+    ++stats_.inserts_queued;
+    return next_rid_++;
+  }
+
+  /// Deletes one tuple equal to `value`: cancels a pending insert when one
+  /// matches, otherwise forces the [value, value] range to migrate and
+  /// erases from the covering final segment. False when absent.
+  bool Delete(T value) {
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].value == value) {
+        pending_[i] = pending_.back();
+        pending_.pop_back();
+        ++stats_.inserts_cancelled;
+        return true;
+      }
+    }
+    EnsureMerged(CutRangeForPredicate(RangePredicate<T>::Between(value, value)));
+    FinalSegment* seg = SegmentContaining(value);
+    if (seg == nullptr || !seg->org.EraseOne(value)) return false;
+    ++stats_.values_deleted;
+    return true;
+  }
+
   /// Rows matching the predicate; migrates missing ranges as a side effect.
   std::size_t Count(const RangePredicate<T>& pred) {
     ++stats_.num_queries;
     if (pred.DefinitelyEmpty()) return 0;
+    AbsorbPending();
     const CutRange<T> target = CutRangeForPredicate(pred);
     EnsureMerged(target);
     std::size_t count = 0;
@@ -128,6 +165,7 @@ class HybridIndex {
   long double Sum(const RangePredicate<T>& pred) {
     ++stats_.num_queries;
     if (pred.DefinitelyEmpty()) return 0;
+    AbsorbPending();
     const CutRange<T> target = CutRangeForPredicate(pred);
     EnsureMerged(target);
     long double sum = 0;
@@ -144,6 +182,7 @@ class HybridIndex {
                    std::vector<row_id_t>* rids) {
     ++stats_.num_queries;
     if (pred.DefinitelyEmpty()) return;
+    AbsorbPending();
     const CutRange<T> target = CutRangeForPredicate(pred);
     EnsureMerged(target);
     ForEachAnswerRange(target, pred, [&](const FinalSegment& seg, PositionRange r) {
@@ -162,7 +201,14 @@ class HybridIndex {
   const HybridStats& stats() const { return stats_; }
   std::size_t num_partitions() const { return partitions_.size(); }
   std::size_t num_final_segments() const { return finals_.size(); }
-  bool fully_merged() const { return stats_.values_merged == total_size_; }
+  std::size_t num_pending_inserts() const { return pending_.size(); }
+  bool fully_merged() const {
+    if (!pending_.empty()) return false;
+    for (const Partition& p : partitions_) {
+      if (p.live > 0) return false;
+    }
+    return true;
+  }
 
   /// Conservation + per-segment structural invariants. O(n); tests only.
   bool Validate() const {
@@ -171,7 +217,9 @@ class HybridIndex {
       live += p.live;
       if (p.live > 0 && !p.org.Validate()) return false;
     }
-    if (live + stats_.values_merged != total_size_) return false;
+    if (live + stats_.values_merged != total_size_ + stats_.inserts_absorbed) {
+      return false;
+    }
     std::size_t in_finals = 0;
     for (const FinalSegment& seg : finals_) {
       in_finals += seg.org.size();
@@ -181,7 +229,7 @@ class HybridIndex {
         if (!seg.bounds.Contains(v)) return false;
       }
     }
-    if (in_finals != stats_.values_merged) return false;
+    if (in_finals != stats_.values_merged - stats_.values_deleted) return false;
     return merged_.Validate();
   }
 
@@ -194,6 +242,91 @@ class HybridIndex {
     SegmentOrganizer<T> org;
     CutRange<T> bounds;
   };
+  struct PendingTuple {
+    T value;
+    row_id_t rid;
+  };
+
+  /// The final segment whose bounds contain `value`, or nullptr. Segments
+  /// have pairwise-disjoint bounds sorted by lower cut, so at most one can.
+  /// The probe is (value, kLess): a bound lo is above `value` exactly when
+  /// lo > (value, kLess) in cut order, so the predecessor of the first
+  /// such segment is the only containment candidate.
+  FinalSegment* SegmentContaining(T value) {
+    const Cut<T> probe{value, CutKind::kLess};
+    auto it = std::upper_bound(
+        finals_.begin(), finals_.end(), probe,
+        [](const Cut<T>& c, const FinalSegment& s) { return c < s.bounds.lo; });
+    if (it == finals_.begin()) return nullptr;
+    FinalSegment& candidate = *std::prev(it);
+    return candidate.bounds.Contains(value) ? &candidate : nullptr;
+  }
+
+  /// Places the pending inserts: tuples inside an already-migrated range
+  /// join the final store directly (appending to the covering segment, or
+  /// founding a segment for the segment-free stretch of the merged range
+  /// around them); the remainder becomes a fresh initial partition.
+  void AbsorbPending() {
+    if (pending_.empty()) return;
+    std::vector<T> fresh_values;
+    std::vector<row_id_t> fresh_rids;
+    for (const PendingTuple& t : pending_) {
+      const auto merged_range = merged_.FindContaining(t.value);
+      if (!merged_range.has_value()) {
+        fresh_values.push_back(t.value);
+        if (options_.with_row_ids) fresh_rids.push_back(t.rid);
+        continue;
+      }
+      PlaceInFinals(t, *merged_range);
+      ++stats_.values_merged;
+    }
+    stats_.inserts_absorbed += pending_.size();
+    pending_.clear();
+    if (fresh_values.empty()) return;
+    const std::size_t n = fresh_values.size();
+    partitions_.push_back(Partition{
+        SegmentOrganizer<T>(std::move(fresh_values), std::move(fresh_rids),
+                            {.mode = options_.initial_mode,
+                             .radix_bits = options_.radix_bits,
+                             .with_row_ids = options_.with_row_ids}),
+        n});
+  }
+
+  /// Appends one already-merged tuple to the covering final segment; when
+  /// none covers it, founds a new segment over the widest stretch of
+  /// `merged_range` that no existing segment claims (keeping the directory
+  /// disjoint so later inserts nearby reuse it).
+  void PlaceInFinals(const PendingTuple& t, const CutRange<T>& merged_range) {
+    if (FinalSegment* seg = SegmentContaining(t.value); seg != nullptr) {
+      seg->org.Append(std::span<const T>(&t.value, 1),
+                      options_.with_row_ids
+                          ? std::span<const row_id_t>(&t.rid, 1)
+                          : std::span<const row_id_t>{});
+      return;
+    }
+    // First segment entirely above the value (see SegmentContaining on the
+    // probe kind); its predecessor, if any, is entirely below.
+    const Cut<T> probe{t.value, CutKind::kLess};
+    auto it = std::upper_bound(
+        finals_.begin(), finals_.end(), probe,
+        [](const Cut<T>& c, const FinalSegment& s) { return c < s.bounds.lo; });
+    CutRange<T> bounds = merged_range;
+    if (it != finals_.begin()) {
+      const auto prev = std::prev(it);
+      if (bounds.lo < prev->bounds.hi) bounds.lo = prev->bounds.hi;
+    }
+    if (it != finals_.end() && it->bounds.lo < bounds.hi) bounds.hi = it->bounds.lo;
+    std::vector<T> values{t.value};
+    std::vector<row_id_t> rids;
+    if (options_.with_row_ids) rids.push_back(t.rid);
+    finals_.insert(it, FinalSegment{
+                           SegmentOrganizer<T>(std::move(values), std::move(rids),
+                                               {.mode = options_.final_mode,
+                                                .radix_bits = options_.radix_bits,
+                                                .with_row_ids = options_.with_row_ids}),
+                           bounds});
+    ++stats_.final_segments;
+  }
 
   void EnsureMerged(const CutRange<T>& target) {
     const auto missing = merged_.Missing(target);
@@ -278,6 +411,8 @@ class HybridIndex {
   std::size_t total_size_;
   std::vector<Partition> partitions_;
   std::vector<FinalSegment> finals_;
+  std::vector<PendingTuple> pending_;  // inserts awaiting absorption
+  row_id_t next_rid_ = 0;              // fresh row ids continue past the base
   CutIntervalSet<T> merged_;
   HybridStats stats_;
 };

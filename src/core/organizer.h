@@ -96,6 +96,67 @@ class SegmentOrganizer {
   /// Frees payload memory once the segment's data has fully migrated.
   void Release() { crack_.Release(); }
 
+  /// Appends fresh tuples to the segment. A sorted organized segment
+  /// absorbs them by sorted insertion (organization preserved — no
+  /// re-sort on the next query); otherwise any prior organization is
+  /// discarded (cuts cleared, organized flag reset) and the next query
+  /// re-organizes under the segment's policy, the lazy bargain the rest
+  /// of the system already makes. `rids` must align with `values` when
+  /// row ids are enabled and may be empty otherwise.
+  void Append(std::span<const T> values, std::span<const row_id_t> rids) {
+    AIDX_CHECK(!options_.with_row_ids || rids.size() == values.size());
+    auto& vals = MutableValues();
+    if (options_.mode == OrganizeMode::kSort && organized_) {
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        const auto at = std::upper_bound(vals.begin(), vals.end(), values[i]);
+        const auto pos = at - vals.begin();
+        vals.insert(at, values[i]);
+        if (options_.with_row_ids) {
+          auto& stored = MutableRowIds();
+          stored.insert(stored.begin() + pos, rids[i]);
+        }
+      }
+      crack_.mutable_index().set_column_size(vals.size());
+      return;
+    }
+    vals.insert(vals.end(), values.begin(), values.end());
+    if (options_.with_row_ids) {
+      auto& stored = MutableRowIds();
+      stored.insert(stored.end(), rids.begin(), rids.end());
+    }
+    ResetOrganization();
+  }
+
+  /// Removes one occurrence of `v`; false when absent. A sorted organized
+  /// segment erases in place (order preserved); otherwise the victim is
+  /// swap-removed and the organization reset.
+  bool EraseOne(T v) {
+    auto& vals = MutableValues();
+    if (options_.mode == OrganizeMode::kSort && organized_) {
+      const auto it = std::lower_bound(vals.begin(), vals.end(), v);
+      if (it == vals.end() || *it != v) return false;
+      if (options_.with_row_ids) {
+        auto& rids = MutableRowIds();
+        rids.erase(rids.begin() + (it - vals.begin()));
+      }
+      vals.erase(it);
+      crack_.mutable_index().set_column_size(vals.size());
+      return true;
+    }
+    const auto it = std::find(vals.begin(), vals.end(), v);
+    if (it == vals.end()) return false;
+    const std::size_t at = static_cast<std::size_t>(it - vals.begin());
+    vals[at] = vals.back();
+    vals.pop_back();
+    if (options_.with_row_ids) {
+      auto& rids = MutableRowIds();
+      rids[at] = rids.back();
+      rids.pop_back();
+    }
+    ResetOrganization();
+    return true;
+  }
+
   bool Validate() const {
     if (options_.mode == OrganizeMode::kSort && organized_) {
       return std::is_sorted(values().begin(), values().end());
@@ -164,6 +225,13 @@ class SegmentOrganizer {
   // is a friend of CrackerColumn for exactly this.
   std::vector<T>& MutableValues() { return crack_.mutable_values(); }
   std::vector<row_id_t>& MutableRowIds() { return crack_.mutable_row_ids(); }
+
+  /// Drops accumulated cuts and the organized flag after a raw-array edit.
+  void ResetOrganization() {
+    crack_.mutable_index().Clear();
+    crack_.mutable_index().set_column_size(crack_.size());
+    organized_ = false;
+  }
 
   Options options_;
   CrackerColumn<T> crack_;

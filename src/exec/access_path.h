@@ -1,18 +1,30 @@
-// Access paths: the uniform query interface over every indexing strategy
-// this library reproduces. The benchmark harness, the engine facade, and
-// the examples all talk to AccessPath so that strategies are swappable —
-// the role the query optimizer plays in a full kernel (DESIGN.md §6).
+// Access paths: the uniform query *and update* interface over every
+// indexing strategy this library reproduces. The benchmark harness, the
+// engine facade, and the examples all talk to AccessPath so that
+// strategies are swappable — the role the query optimizer plays in a full
+// kernel (DESIGN.md §6).
 //
 // Construction is lazy: the underlying structure is built inside the first
-// query, so "the first query pays initialization" — the cost model every
-// surveyed paper uses — holds by construction.
+// operation (query or write), so "the first query pays initialization" —
+// the cost model every surveyed paper uses — holds by construction.
+//
+// Every strategy answers Insert/Delete with multiset semantics (Delete
+// removes one arbitrary tuple equal to the value); how writes reach the
+// physical structure is strategy-specific and documented per path class
+// and in docs/UPDATES.md. A path snapshots the borrowed base span the
+// first time it materializes its structure (or, for the scan path, on the
+// first write); callers that mutate the underlying storage afterwards —
+// the Database facade does — must route every write through the path
+// *before* touching the base storage.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/adaptive_merging.h"
 #include "core/cracker_column.h"
@@ -24,6 +36,7 @@
 #include "parallel/partitioned_cracker_column.h"
 #include "storage/predicate.h"
 #include "storage/types.h"
+#include "update/updatable_column.h"
 #include "util/logging.h"
 #include "util/macros.h"
 #include "util/thread_pool.h"
@@ -58,8 +71,17 @@ struct StrategyConfig {
   // and the total threads fanning one query out (1 = no pool, run inline).
   std::size_t num_partitions = 8;
   std::size_t num_threads = 4;
+  // Update-pipeline knobs (crack / stochastic / parallel-crack paths):
+  // when pending updates fold into the cracked array (SIGMOD'07), and the
+  // extra tuples merged per query under MergePolicy::kGradual.
+  MergePolicy merge_policy = MergePolicy::kRipple;
+  std::size_t gradual_budget = 64;
   // Carry row ids (needed only when results must project other columns).
   bool with_row_ids = false;
+
+  /// Structural equality over every knob — the Database path cache keys on
+  /// this, so two configs collide only when they are truly identical.
+  friend bool operator==(const StrategyConfig&, const StrategyConfig&) = default;
 
   static StrategyConfig FullScan() { return {.kind = StrategyKind::kFullScan}; }
   static StrategyConfig FullSort() { return {.kind = StrategyKind::kFullSort}; }
@@ -105,9 +127,8 @@ struct StrategyConfig {
         return std::string("H") + OrganizeModeLetter(hybrid_initial) +
                OrganizeModeLetter(hybrid_final);
       case StrategyKind::kParallelCrack:
-        // Shape-changing knobs are part of the name so Database's per-name
-        // cache keeps differently shaped parallel paths apart (the seed,
-        // as for every strategy, is not — see the engine.h cache caveat).
+        // Shape-changing knobs stay in the name for figures and reports
+        // (the Database cache keys on the full config, not this string).
         // Comma-free: the name lands unquoted in CSV headers
         // (workload/report.cc).
         return "pcrack(" + std::to_string(num_partitions) + "x" +
@@ -119,10 +140,12 @@ struct StrategyConfig {
   }
 };
 
-/// Uniform adaptive-query interface. Count and Sum *may reorganize data* —
-/// that is the point of adaptive indexing. Paths are single-threaded
-/// unless noted; kParallelCrack's path is internally synchronized and may
-/// be shared across query threads (docs/CONCURRENCY.md).
+/// Uniform adaptive query + update interface. Count and Sum *may
+/// reorganize data* — that is the point of adaptive indexing — and under
+/// most strategies they also fold in pending updates the predicate must
+/// observe. Paths are single-threaded unless noted; kParallelCrack's path
+/// is internally synchronized and may be shared across query threads
+/// (docs/CONCURRENCY.md).
 template <ColumnValue T>
 class AccessPath {
  public:
@@ -130,58 +153,185 @@ class AccessPath {
   virtual std::string name() const = 0;
   virtual std::size_t Count(const RangePredicate<T>& pred) = 0;
   virtual long double Sum(const RangePredicate<T>& pred) = 0;
+
+  /// Accepts one fresh tuple and returns the row id assigned to it. When
+  /// (and how) the value reaches the physical structure is the strategy's
+  /// merge policy; a later Count/Sum observes it in every case.
+  virtual row_id_t Insert(T value) = 0;
+
+  /// Deletes one tuple equal to `value` (multiset semantics: an arbitrary
+  /// matching occurrence). Returns false when no live tuple matches.
+  virtual bool Delete(T value) = 0;
+
+  /// Batch variants; the defaults loop the scalar forms, and structures
+  /// with cheaper bulk moves override them.
+  virtual void InsertBatch(std::span<const T> values) {
+    for (const T v : values) Insert(v);
+  }
+  /// Returns how many tuples were actually deleted.
+  virtual std::size_t DeleteBatch(std::span<const T> values) {
+    std::size_t deleted = 0;
+    for (const T v : values) deleted += Delete(v) ? 1 : 0;
+    return deleted;
+  }
+
+  /// Probe for the update pipeline's counters (queued/merged/cancelled
+  /// totals); strategies without a deferred pipeline report their eagerly
+  /// applied writes in the same vocabulary.
+  virtual UpdateStats update_stats() const = 0;
 };
 
 namespace internal {
 
+// No index to maintain, so writes are applied immediately: the first
+// write copies the borrowed base into owned storage (after which the base
+// span is never read again), inserts append, deletes swap-remove — the
+// degenerate case of append+tombstone where the tombstone is applied on
+// the spot.
 template <ColumnValue T>
 class ScanPath final : public AccessPath<T> {
  public:
-  explicit ScanPath(std::span<const T> base) : base_(base) {}
+  explicit ScanPath(std::span<const T> base)
+      : base_(base), next_rid_(static_cast<row_id_t>(base.size())) {}
   std::string name() const override { return "scan"; }
   std::size_t Count(const RangePredicate<T>& pred) override {
-    return ScanCount<T>(base_, pred);
+    return ScanCount<T>(Data(), pred);
   }
   long double Sum(const RangePredicate<T>& pred) override {
-    return ScanSum<T>(base_, pred);
+    return ScanSum<T>(Data(), pred);
   }
+  row_id_t Insert(T value) override {
+    EnsureOwned();
+    owned_->push_back(value);
+    ++stats_.inserts_queued;
+    ++stats_.inserts_merged;
+    return next_rid_++;
+  }
+  bool Delete(T value) override {
+    // Probe before copying: a miss on a still-borrowed base must not pay
+    // the copy-on-write.
+    const auto data = Data();
+    if (std::find(data.begin(), data.end(), value) == data.end()) return false;
+    EnsureOwned();
+    const auto it = std::find(owned_->begin(), owned_->end(), value);
+    *it = owned_->back();
+    owned_->pop_back();
+    ++stats_.deletes_queued;
+    ++stats_.deletes_merged;
+    return true;
+  }
+  UpdateStats update_stats() const override { return stats_; }
 
  private:
+  std::span<const T> Data() const {
+    return owned_ ? std::span<const T>(*owned_) : base_;
+  }
+  void EnsureOwned() {
+    if (!owned_) owned_.emplace(base_.begin(), base_.end());
+  }
   std::span<const T> base_;
+  std::optional<std::vector<T>> owned_;  // copy-on-first-write
+  UpdateStats stats_;
+  row_id_t next_rid_;
 };
 
+// Inserts gather in a delta buffer that the next query sorts and folds
+// into the sorted array with one inplace_merge pass; deletes cancel a
+// buffered insert or erase from the sorted array directly.
 template <ColumnValue T>
 class FullSortPath final : public AccessPath<T> {
  public:
-  explicit FullSortPath(std::span<const T> base) : base_(base) {}
+  explicit FullSortPath(std::span<const T> base)
+      : base_(base), next_rid_(static_cast<row_id_t>(base.size())) {}
   std::string name() const override { return "sort"; }
   std::size_t Count(const RangePredicate<T>& pred) override {
+    MergeDelta();
     return Index().CountRange(pred);
   }
   long double Sum(const RangePredicate<T>& pred) override {
+    MergeDelta();
     return Index().SumRange(pred);
   }
+  row_id_t Insert(T value) override {
+    Index();  // materialize while the base span is still valid
+    delta_.push_back(value);
+    ++stats_.inserts_queued;
+    return next_rid_++;
+  }
+  bool Delete(T value) override {
+    FullSortIndex<T>& index = Index();
+    for (std::size_t i = 0; i < delta_.size(); ++i) {
+      if (delta_[i] == value) {
+        delta_[i] = delta_.back();
+        delta_.pop_back();
+        ++stats_.deletes_cancelled;
+        return true;
+      }
+    }
+    if (!index.EraseOne(value)) return false;
+    ++stats_.deletes_queued;
+    ++stats_.deletes_merged;
+    return true;
+  }
+  UpdateStats update_stats() const override { return stats_; }
 
  private:
   FullSortIndex<T>& Index() {
     if (!index_) index_.emplace(base_);
     return *index_;
   }
+  void MergeDelta() {
+    if (delta_.empty()) return;
+    std::sort(delta_.begin(), delta_.end());
+    Index().MergeSortedDelta(delta_);
+    stats_.inserts_merged += delta_.size();
+    delta_.clear();
+  }
   std::span<const T> base_;
   std::optional<FullSortIndex<T>> index_;
+  std::vector<T> delta_;  // unsorted until the merging query
+  UpdateStats stats_;
+  row_id_t next_rid_;
 };
 
+// Same delta-buffer scheme as FullSortPath; the merging query bulk-inserts
+// the sorted delta, and deletes erase from leaves without rebalancing.
 template <ColumnValue T>
 class BTreePath final : public AccessPath<T> {
  public:
-  explicit BTreePath(std::span<const T> base) : base_(base) {}
+  explicit BTreePath(std::span<const T> base)
+      : base_(base), next_rid_(static_cast<row_id_t>(base.size())) {}
   std::string name() const override { return "btree"; }
   std::size_t Count(const RangePredicate<T>& pred) override {
+    MergeDelta();
     return Tree().CountRange(pred);
   }
   long double Sum(const RangePredicate<T>& pred) override {
+    MergeDelta();
     return Tree().SumRange(pred);
   }
+  row_id_t Insert(T value) override {
+    Tree();  // materialize while the base span is still valid
+    delta_.push_back(value);
+    ++stats_.inserts_queued;
+    return next_rid_++;
+  }
+  bool Delete(T value) override {
+    BPlusTree<T>& tree = Tree();
+    for (std::size_t i = 0; i < delta_.size(); ++i) {
+      if (delta_[i] == value) {
+        delta_[i] = delta_.back();
+        delta_.pop_back();
+        ++stats_.deletes_cancelled;
+        return true;
+      }
+    }
+    if (!tree.EraseOne(value)) return false;
+    ++stats_.deletes_queued;
+    ++stats_.deletes_merged;
+    return true;
+  }
+  UpdateStats update_stats() const override { return stats_; }
 
  private:
   BPlusTree<T>& Tree() {
@@ -192,10 +342,24 @@ class BTreePath final : public AccessPath<T> {
     }
     return *tree_;
   }
+  void MergeDelta() {
+    if (delta_.empty()) return;
+    std::sort(delta_.begin(), delta_.end());
+    Tree().InsertSortedBatch(delta_);
+    stats_.inserts_merged += delta_.size();
+    delta_.clear();
+  }
   std::span<const T> base_;
   std::optional<BPlusTree<T>> tree_;
+  std::vector<T> delta_;  // unsorted until the merging query
+  UpdateStats stats_;
+  row_id_t next_rid_;
 };
 
+// The crack and stochastic-crack strategies delegate every write to the
+// SIGMOD'07 update pipeline: inserts and deletes queue in pending stores
+// and ripple into the cracked array when a query touches their range,
+// under the merge policy (MCI/MGI/MRI) selected in the config.
 template <ColumnValue T>
 class CrackPath final : public AccessPath<T> {
  public:
@@ -208,9 +372,14 @@ class CrackPath final : public AccessPath<T> {
   long double Sum(const RangePredicate<T>& pred) override {
     return Column().Sum(pred);
   }
+  row_id_t Insert(T value) override { return Column().Insert(value); }
+  bool Delete(T value) override { return Column().DeleteValue(value); }
+  UpdateStats update_stats() const override {
+    return column_ ? column_->update_stats() : UpdateStats{};
+  }
 
  private:
-  CrackerColumn<T>& Column() {
+  UpdatableCrackerColumn<T>& Column() {
     if (!column_) {
       CrackerColumnOptions options;
       options.with_row_ids = config_.with_row_ids;
@@ -219,15 +388,22 @@ class CrackPath final : public AccessPath<T> {
         options.stochastic_threshold = config_.stochastic_threshold;
         options.stochastic_seed = config_.seed;
       }
-      column_.emplace(base_, options);
+      column_.emplace(base_,
+                      typename UpdatableCrackerColumn<T>::Options{
+                          .policy = config_.merge_policy,
+                          .gradual_budget = config_.gradual_budget,
+                          .crack = options});
     }
     return *column_;
   }
   std::span<const T> base_;
   StrategyConfig config_;
-  std::optional<CrackerColumn<T>> column_;
+  std::optional<UpdatableCrackerColumn<T>> column_;
 };
 
+// Inserts become a fresh pending run absorbed by the next query — the
+// paper's natural fit — and deletes force the value's range to merge,
+// then erase from the final B+ tree.
 template <ColumnValue T>
 class AdaptiveMergePath final : public AccessPath<T> {
  public:
@@ -239,6 +415,19 @@ class AdaptiveMergePath final : public AccessPath<T> {
   }
   long double Sum(const RangePredicate<T>& pred) override {
     return Index().Sum(pred);
+  }
+  row_id_t Insert(T value) override { return Index().Insert(value); }
+  bool Delete(T value) override { return Index().Delete(value); }
+  UpdateStats update_stats() const override {
+    UpdateStats out;
+    if (!index_) return out;
+    const AdaptiveMergingStats& s = index_->stats();
+    out.inserts_queued = s.inserts_queued;
+    out.inserts_merged = s.inserts_absorbed;
+    out.deletes_cancelled = s.inserts_cancelled;
+    out.deletes_queued = s.values_deleted;
+    out.deletes_merged = s.values_deleted;
+    return out;
   }
 
  private:
@@ -256,6 +445,10 @@ class AdaptiveMergePath final : public AccessPath<T> {
   std::optional<AdaptiveMergingIndex<T>> index_;
 };
 
+// Inserts become a fresh initial partition absorbed by the next query
+// (already-merged key ranges land in their covering final segment
+// directly); deletes force the value's range to migrate, then erase from
+// the covering final segment.
 template <ColumnValue T>
 class HybridPath final : public AccessPath<T> {
  public:
@@ -267,6 +460,19 @@ class HybridPath final : public AccessPath<T> {
   }
   long double Sum(const RangePredicate<T>& pred) override {
     return Index().Sum(pred);
+  }
+  row_id_t Insert(T value) override { return Index().Insert(value); }
+  bool Delete(T value) override { return Index().Delete(value); }
+  UpdateStats update_stats() const override {
+    UpdateStats out;
+    if (!index_) return out;
+    const HybridStats& s = index_->stats();
+    out.inserts_queued = s.inserts_queued;
+    out.inserts_merged = s.inserts_absorbed;
+    out.deletes_cancelled = s.inserts_cancelled;
+    out.deletes_queued = s.values_deleted;
+    out.deletes_merged = s.values_deleted;
+    return out;
   }
 
  private:
@@ -290,6 +496,9 @@ class HybridPath final : public AccessPath<T> {
 // to share across threads: the column latches per partition, and the lazy
 // construction itself is guarded. The path owns the intra-query ThreadPool
 // (num_threads - 1 workers; the querying thread participates as the last).
+// Writes route to the partition owning the value and queue under that
+// partition's latch (docs/CONCURRENCY.md), so concurrent writers to
+// disjoint partitions proceed fully in parallel.
 template <ColumnValue T>
 class ParallelCrackPath final : public AccessPath<T> {
  public:
@@ -301,6 +510,16 @@ class ParallelCrackPath final : public AccessPath<T> {
   }
   long double Sum(const RangePredicate<T>& pred) override {
     return Column().Sum(pred);
+  }
+  row_id_t Insert(T value) override { return Column().Insert(value); }
+  bool Delete(T value) override { return Column().Delete(value); }
+  void InsertBatch(std::span<const T> values) override {
+    Column().InsertBatch(values);
+  }
+  UpdateStats update_stats() const override {
+    // Forces construction when probed first (thread-safe via call_once);
+    // aggregation itself latches per partition.
+    return const_cast<ParallelCrackPath*>(this)->Column().AggregatedUpdateStats();
   }
 
  private:
@@ -314,6 +533,8 @@ class ParallelCrackPath final : public AccessPath<T> {
       options.column_options.with_row_ids = config_.with_row_ids;
       options.column_options.min_piece_size = config_.min_piece_size;
       options.splitter_seed = config_.seed;
+      options.merge_policy = config_.merge_policy;
+      options.gradual_budget = config_.gradual_budget;
       column_.emplace(base_, options, pool_.get());
     });
     return *column_;

@@ -1,6 +1,40 @@
 #include "exec/engine.h"
 
+#include <algorithm>
+#include <functional>
+
 namespace aidx {
+
+namespace internal {
+namespace {
+
+std::size_t HashCombine(std::size_t seed, std::size_t v) {
+  return seed ^ (v + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+std::size_t PathKeyHash::operator()(const PathKey& key) const {
+  std::size_t h = std::hash<std::string>{}(key.table);
+  h = HashCombine(h, std::hash<std::string>{}(key.column));
+  const StrategyConfig& c = key.config;
+  h = HashCombine(h, static_cast<std::size_t>(c.kind));
+  h = HashCombine(h, c.min_piece_size);
+  h = HashCombine(h, c.stochastic_threshold);
+  h = HashCombine(h, static_cast<std::size_t>(c.seed));
+  h = HashCombine(h, c.run_size);
+  h = HashCombine(h, static_cast<std::size_t>(c.hybrid_initial));
+  h = HashCombine(h, static_cast<std::size_t>(c.hybrid_final));
+  h = HashCombine(h, static_cast<std::size_t>(c.radix_bits));
+  h = HashCombine(h, c.num_partitions);
+  h = HashCombine(h, c.num_threads);
+  h = HashCombine(h, static_cast<std::size_t>(c.merge_policy));
+  h = HashCombine(h, c.gradual_budget);
+  h = HashCombine(h, static_cast<std::size_t>(c.with_row_ids));
+  return h;
+}
+
+}  // namespace internal
 
 Status Database::CreateTable(std::string name) {
   return catalog_.CreateTable(std::move(name)).status();
@@ -20,16 +54,70 @@ Result<std::span<const std::int64_t>> Database::ColumnSpan(
   return col->Values();
 }
 
+Result<TypedColumn<std::int64_t>*> Database::MutableColumn(std::string_view table,
+                                                           std::string_view column) {
+  AIDX_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  AIDX_ASSIGN_OR_RETURN(Column * raw, t->GetColumn(column));
+  return raw->As<std::int64_t>();
+}
+
+void Database::DropSideways(std::string_view table) {
+  std::string prefix;
+  prefix.reserve(table.size() + 1);
+  prefix.append(table);
+  prefix.push_back('.');
+  for (auto it = sideways_.begin(); it != sideways_.end();) {
+    if (it->first.starts_with(prefix)) {
+      it = sideways_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status Database::Insert(std::string_view table, std::string_view column,
+                        std::int64_t value) {
+  AIDX_ASSIGN_OR_RETURN(TypedColumn<std::int64_t> * col, MutableColumn(table, column));
+  // Paths first: ones that have not materialized yet snapshot the base
+  // span now, while it is still untouched.
+  ForEachPathOf(table, column,
+                [&](AccessPath<std::int64_t>& path) { path.Insert(value); });
+  DropSideways(table);
+  col->Append(value);
+  return Status::OK();
+}
+
+Status Database::InsertBatch(std::string_view table, std::string_view column,
+                             std::span<const std::int64_t> values) {
+  AIDX_ASSIGN_OR_RETURN(TypedColumn<std::int64_t> * col, MutableColumn(table, column));
+  ForEachPathOf(table, column,
+                [&](AccessPath<std::int64_t>& path) { path.InsertBatch(values); });
+  DropSideways(table);
+  col->AppendMany(values);
+  return Status::OK();
+}
+
+Result<bool> Database::Delete(std::string_view table, std::string_view column,
+                              std::int64_t value) {
+  AIDX_ASSIGN_OR_RETURN(TypedColumn<std::int64_t> * col, MutableColumn(table, column));
+  auto& values = col->MutableValues();
+  const auto victim = std::find(values.begin(), values.end(), value);
+  if (victim == values.end()) return false;  // no tuple matches: no-op
+  ForEachPathOf(table, column, [&](AccessPath<std::int64_t>& path) {
+    const bool removed = path.Delete(value);
+    // Paths mirror the base multiset, so the tuple must exist there too.
+    AIDX_DCHECK(removed);
+    (void)removed;
+  });
+  DropSideways(table);
+  values.erase(victim);
+  return true;
+}
+
 Result<AccessPath<std::int64_t>*> Database::PathFor(std::string_view table,
                                                     std::string_view column,
                                                     const StrategyConfig& config) {
-  std::string key;
-  key.reserve(table.size() + column.size() + 16);
-  key.append(table);
-  key.push_back('.');
-  key.append(column);
-  key.push_back('#');
-  key.append(config.DisplayName());
+  internal::PathKey key{std::string(table), std::string(column), config};
   const auto it = paths_.find(key);
   if (it != paths_.end()) return it->second.get();
   AIDX_ASSIGN_OR_RETURN(const auto span, ColumnSpan(table, column));

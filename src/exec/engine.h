@@ -8,20 +8,30 @@
 //
 // Ownership: a Database owns everything it serves — the catalog's base
 // columns (moved in via AddColumn) and every cached adaptive structure.
-// Access paths are created lazily on first use and cached per
-// (table, column, StrategyConfig::DisplayName()) key, so repeated queries
-// through the same strategy adapt one shared structure. Note the key is
-// the *display name*: knobs it omits (run_size, seed, radix_bits, ...) do
-// not distinguish cache entries, so knob sweeps must call
-// ResetAdaptiveState between configs or construct AccessPaths directly
-// (as the benches do). Sideways crackers are cached
-// per (table, head column) and borrow the catalog's column storage, which
-// therefore must not be mutated while the Database lives. The type is
-// move-only and not thread-safe: callers wanting concurrency wrap paths in
-// SerializedAccessPath (exec/serialized_path.h), shard by column, or use
-// StrategyKind::kParallelCrack, whose access path latches internally at
-// partition granularity (docs/CONCURRENCY.md) — though the Database facade
-// itself (catalog and path cache) must still be externally serialized.
+// Access paths are created lazily on first use and cached under a
+// *structural* (table, column, StrategyConfig) key — every knob
+// participates, so two configs share an adaptive structure only when they
+// are identical; knob sweeps need no ResetAdaptiveState between configs.
+//
+// DML: Insert/Delete/InsertBatch keep the base column and every cached
+// access path of that column consistent — the write is applied to each
+// cached path through the uniform AccessPath update interface (each
+// strategy absorbing it under its own policy, docs/UPDATES.md) and then
+// to the catalog's base storage, in that order, so paths that still
+// borrow the base span snapshot it before it changes. Writes are
+// column-level (this is a column-store substrate): deleting from one
+// column of a multi-column table desynchronizes the table's row count,
+// which SelectProject will then report as an error. Sideways crackers
+// borrow the catalog's storage, so any write to a table drops that
+// table's cached sideways state (rebuilt from the new base on the next
+// SelectProject).
+//
+// The type is move-only and not thread-safe: callers wanting concurrency
+// wrap paths in SerializedAccessPath (exec/serialized_path.h), shard by
+// column, or use StrategyKind::kParallelCrack, whose access path latches
+// internally at partition granularity (docs/CONCURRENCY.md) — though the
+// Database facade itself (catalog and path cache) must still be
+// externally serialized.
 //
 // Usage:
 //   Database db;
@@ -30,12 +40,14 @@
 //   auto n = db.Count("sales", "amount",
 //                     RangePredicate<std::int64_t>::Between(lo, hi),
 //                     StrategyConfig::Crack());   // cracks as a side effect
+//   AIDX_CHECK_OK(db.Insert("sales", "amount", 42));   // all paths observe it
 // All entry points return Status/Result rather than throwing; errors are
 // NotFound / AlreadyExists / InvalidArgument from util/status.h.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -50,6 +62,24 @@
 
 namespace aidx {
 
+namespace internal {
+
+/// Structural path-cache key: the full strategy config participates, so
+/// same-kind configs that differ in any knob get distinct cache entries.
+struct PathKey {
+  std::string table;
+  std::string column;
+  StrategyConfig config;
+
+  friend bool operator==(const PathKey&, const PathKey&) = default;
+};
+
+struct PathKeyHash {
+  std::size_t operator()(const PathKey& key) const;
+};
+
+}  // namespace internal
+
 /// Engine facade over int64 columns (the experiment type; the underlying
 /// templates support int32/float64 — see tests).
 class Database {
@@ -63,6 +93,22 @@ class Database {
   /// Adds an int64 column to a table.
   Status AddColumn(std::string_view table, std::string column,
                    std::vector<std::int64_t> values);
+
+  /// Appends one fresh value to `table`.`column`: every cached access path
+  /// of that column absorbs the insert under its own strategy, then the
+  /// catalog's base column grows, so paths created later see it too.
+  Status Insert(std::string_view table, std::string_view column,
+                std::int64_t value);
+
+  /// Batch insert with the same consistency contract as Insert.
+  Status InsertBatch(std::string_view table, std::string_view column,
+                     std::span<const std::int64_t> values);
+
+  /// Deletes one tuple equal to `value` (multiset semantics) from the base
+  /// column and every cached access path of that column. Returns ok(false)
+  /// when no tuple matches — the column is untouched in that case.
+  Result<bool> Delete(std::string_view table, std::string_view column,
+                      std::int64_t value);
 
   /// Rows of `table`.`column` matching `pred`, answered through the access
   /// path of `config` (created lazily and cached per column+strategy, so
@@ -98,9 +144,23 @@ class Database {
                                             const StrategyConfig& config);
   Result<SidewaysCracker<std::int64_t>*> SidewaysFor(std::string_view table,
                                                      std::string_view head);
+  Result<TypedColumn<std::int64_t>*> MutableColumn(std::string_view table,
+                                                   std::string_view column);
+  /// Applies `write` to every cached access path of (table, column).
+  template <typename Fn>
+  void ForEachPathOf(std::string_view table, std::string_view column, Fn&& write) {
+    for (auto& [key, path] : paths_) {
+      if (key.table == table && key.column == column) write(*path);
+    }
+  }
+  /// Drops the table's cached sideways crackers (they borrow base storage,
+  /// which a write is about to change).
+  void DropSideways(std::string_view table);
 
   Catalog catalog_;
-  std::unordered_map<std::string, std::unique_ptr<AccessPath<std::int64_t>>> paths_;
+  std::unordered_map<internal::PathKey, std::unique_ptr<AccessPath<std::int64_t>>,
+                     internal::PathKeyHash>
+      paths_;
   std::unordered_map<std::string, std::unique_ptr<SidewaysCracker<std::int64_t>>>
       sideways_;
 };

@@ -37,9 +37,34 @@ class SerializedAccessPath final : public AccessPath<T> {
     return inner_->Sum(pred);
   }
 
+  row_id_t Insert(T value) override {
+    const std::lock_guard<std::mutex> guard(latch_);
+    return inner_->Insert(value);
+  }
+
+  bool Delete(T value) override {
+    const std::lock_guard<std::mutex> guard(latch_);
+    return inner_->Delete(value);
+  }
+
+  void InsertBatch(std::span<const T> values) override {
+    const std::lock_guard<std::mutex> guard(latch_);
+    inner_->InsertBatch(values);
+  }
+
+  std::size_t DeleteBatch(std::span<const T> values) override {
+    const std::lock_guard<std::mutex> guard(latch_);
+    return inner_->DeleteBatch(values);
+  }
+
+  UpdateStats update_stats() const override {
+    const std::lock_guard<std::mutex> guard(latch_);
+    return inner_->update_stats();
+  }
+
  private:
   std::unique_ptr<AccessPath<T>> inner_;
-  std::mutex latch_;
+  mutable std::mutex latch_;
 };
 
 /// Wraps a freshly built strategy in the serializing latch.

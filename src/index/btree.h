@@ -80,6 +80,41 @@ class BPlusTree {
     }
   }
 
+  /// Removes one occurrence of `key`; returns false when the key is absent.
+  /// Leaves are not rebalanced on underflow (they may go empty but stay
+  /// chained), which keeps searches correct — separators remain valid
+  /// bounds — at the cost of density; acceptable for the delete volumes
+  /// the update pipeline produces.
+  bool EraseOne(T key) {
+    if (root_ == nullptr) return false;
+    // Descend to the left-most leaf that can hold `key` (same duplicate
+    // handling as VisitRange), then sweep the chain.
+    Node* n = root_;
+    while (!n->is_leaf) {
+      auto* in = static_cast<Internal*>(n);
+      const auto it = std::upper_bound(in->seps.begin(), in->seps.end(), key);
+      std::size_t child = static_cast<std::size_t>(it - in->seps.begin());
+      while (child > 0 && in->seps[child - 1] == key) --child;
+      n = in->children[child];
+    }
+    auto* leaf = static_cast<Leaf*>(n);
+    while (leaf != nullptr) {
+      const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+      if (it != leaf->keys.end()) {
+        if (*it != key) return false;  // past all duplicates: absent
+        const std::size_t at = static_cast<std::size_t>(it - leaf->keys.begin());
+        leaf->keys.erase(it);
+        if (!leaf->rids.empty()) {
+          leaf->rids.erase(leaf->rids.begin() + static_cast<std::ptrdiff_t>(at));
+        }
+        --size_;
+        return true;
+      }
+      leaf = leaf->next;
+    }
+    return false;
+  }
+
   /// Replaces the content with a bulk-loaded tree from sorted input; the
   /// classic offline build path (leaves first, then index levels).
   void BulkLoadSorted(std::span<const T> keys, std::span<const row_id_t> rids = {}) {

@@ -74,6 +74,28 @@ class FullSortIndex {
     return {lo, hi};
   }
 
+  /// Folds an ascending-sorted batch into the index (one inplace_merge
+  /// pass) — the delta-merge step of the sorted write path. Only supported
+  /// without row ids (fresh tuples have no base offset to carry).
+  void MergeSortedDelta(std::span<const T> sorted_delta) {
+    AIDX_CHECK(row_ids_.empty()) << "delta merge unsupported with row ids";
+    AIDX_DCHECK(std::is_sorted(sorted_delta.begin(), sorted_delta.end()));
+    const auto mid = static_cast<std::ptrdiff_t>(values_.size());
+    values_.insert(values_.end(), sorted_delta.begin(), sorted_delta.end());
+    std::inplace_merge(values_.begin(), values_.begin() + mid, values_.end());
+  }
+
+  /// Removes one occurrence of `v`; returns false when absent.
+  bool EraseOne(T v) {
+    const auto it = std::lower_bound(values_.begin(), values_.end(), v);
+    if (it == values_.end() || *it != v) return false;
+    if (!row_ids_.empty()) {
+      row_ids_.erase(row_ids_.begin() + (it - values_.begin()));
+    }
+    values_.erase(it);
+    return true;
+  }
+
   std::size_t CountRange(const RangePredicate<T>& pred) const {
     return SelectRange(pred).size();
   }

@@ -21,26 +21,37 @@
 // it — one pool typically serves many columns. The base span is copied at
 // construction (same contract as CrackerColumn).
 //
-// Thread safety: Count, Sum, Materialize*, AggregatedStats, and
-// ValidatePieces are safe to call from any number of threads concurrently;
-// each takes the latches of only the partitions the predicate overlaps.
+// Thread safety: Count, Sum, Materialize*, Insert, Delete, InsertBatch,
+// AggregatedStats, AggregatedUpdateStats, and ValidatePieces are safe to
+// call from any number of threads concurrently; each takes the latches of
+// only the partitions the predicate (or the written value) maps to.
 // Select (which returns raw per-partition position ranges) is the
 // exception: positions are only stable while no other thread cracks the
 // same partition, so it is for externally synchronized use — tests,
 // single-threaded tools. The latch order is strictly ascending partition
 // index and at most one latch is held at a time, so deadlock is impossible.
+//
+// Writes extend the latch protocol without new rules: a write routes to
+// the single partition owning its value (the splitter table is immutable,
+// so routing needs no latch), queues the update in that partition's
+// UpdatableCrackerColumn under its latch, and the queued tuple merges
+// adaptively when a later query touches its range — also under that
+// latch. Fresh row ids come from one atomic counter so they stay globally
+// unique across partitions; the live tuple count is likewise an atomic,
+// maintained outside any latch (docs/CONCURRENCY.md §3).
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
 
-#include "core/cracker_column.h"
 #include "storage/predicate.h"
 #include "storage/types.h"
+#include "update/updatable_column.h"
 #include "util/logging.h"
 #include "util/macros.h"
 #include "util/rng.h"
@@ -59,6 +70,9 @@ struct PartitionedCrackerOptions {
   /// Splitters are equi-depth quantiles of a sample this large.
   std::size_t splitter_sample_size = 1024;
   std::uint64_t splitter_seed = 0xA24BAED4963EE407ULL;
+  /// Update-merge policy applied by every partition's update pipeline.
+  MergePolicy merge_policy = MergePolicy::kRipple;
+  std::size_t gradual_budget = 64;
 };
 
 /// One partition's share of a fanned-out Select.
@@ -104,11 +118,75 @@ class PartitionedCrackerColumn {
       CrackerColumnOptions per_shard = options_.column_options;
       per_shard.stochastic_seed += p;  // decorrelate stochastic pivots
       shards_.push_back(std::make_unique<Shard>(std::move(values[p]),
-                                                std::move(row_ids[p]), per_shard));
+                                                std::move(row_ids[p]), per_shard,
+                                                options_));
     }
+    next_rid_.store(static_cast<row_id_t>(base.size()), std::memory_order_relaxed);
+    live_size_.store(base.size(), std::memory_order_relaxed);
   }
 
-  AIDX_DEFAULT_MOVE_ONLY(PartitionedCrackerColumn);
+  // Atomic members rule out the defaulted moves; shards are unique_ptrs,
+  // so moving transfers them (and the latches inside) untouched. Callers
+  // must not move a column while other threads use it, as everywhere.
+  AIDX_DISALLOW_COPY_AND_ASSIGN(PartitionedCrackerColumn);
+  PartitionedCrackerColumn(PartitionedCrackerColumn&& other) noexcept
+      : options_(std::move(other.options_)),
+        pool_(other.pool_),
+        total_size_(other.total_size_),
+        splitters_(std::move(other.splitters_)),
+        shards_(std::move(other.shards_)),
+        next_rid_(other.next_rid_.load(std::memory_order_relaxed)),
+        live_size_(other.live_size_.load(std::memory_order_relaxed)) {}
+  PartitionedCrackerColumn& operator=(PartitionedCrackerColumn&& other) noexcept {
+    if (this != &other) {
+      options_ = std::move(other.options_);
+      pool_ = other.pool_;
+      total_size_ = other.total_size_;
+      splitters_ = std::move(other.splitters_);
+      shards_ = std::move(other.shards_);
+      next_rid_.store(other.next_rid_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      live_size_.store(other.live_size_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
+  /// Queues an insert in the partition owning `value` (under its latch)
+  /// and returns the globally unique row id assigned to the fresh tuple.
+  /// The tuple merges into the cracked array when a later query needs its
+  /// range — the same adaptive bargain as the single-threaded pipeline.
+  /// Thread-safe.
+  row_id_t Insert(T value) {
+    const row_id_t rid = next_rid_.fetch_add(1, std::memory_order_relaxed);
+    Shard& shard = *shards_[PartitionOf(value)];
+    {
+      const std::lock_guard<std::mutex> guard(shard.latch);
+      shard.column.InsertWithRid(value, rid);
+    }
+    live_size_.fetch_add(1, std::memory_order_relaxed);
+    return rid;
+  }
+
+  /// Queues inserts for a batch of values (one latch acquisition per
+  /// value; queueing is cheap enough that batching the latch would buy
+  /// little). Thread-safe.
+  void InsertBatch(std::span<const T> batch) {
+    for (const T v : batch) Insert(v);
+  }
+
+  /// Deletes one live tuple equal to `value` from its owning partition
+  /// (under that partition's latch); false when absent. Thread-safe.
+  bool Delete(T value) {
+    Shard& shard = *shards_[PartitionOf(value)];
+    bool deleted = false;
+    {
+      const std::lock_guard<std::mutex> guard(shard.latch);
+      deleted = shard.column.DeleteValue(value);
+    }
+    if (deleted) live_size_.fetch_sub(1, std::memory_order_relaxed);
+    return deleted;
+  }
 
   /// Rows matching `pred` across all partitions (cracks as a side effect).
   /// Thread-safe.
@@ -164,6 +242,7 @@ class PartitionedCrackerColumn {
     ForEachOverlapping(first, last, [&](std::size_t p, std::size_t slot) {
       Shard& shard = *shards_[p];
       const std::lock_guard<std::mutex> guard(shard.latch);
+      shard.column.MergePendingFor(pred);
       const CrackSelect sel = shard.column.Select(pred);
       shard.column.MaterializeValues(sel, pred, &partial[slot]);
     });
@@ -184,6 +263,7 @@ class PartitionedCrackerColumn {
     ForEachOverlapping(first, last, [&](std::size_t p, std::size_t slot) {
       Shard& shard = *shards_[p];
       const std::lock_guard<std::mutex> guard(shard.latch);
+      shard.column.MergePendingFor(pred);
       const CrackSelect sel = shard.column.Select(pred);
       shard.column.MaterializeRowIds(sel, pred, &partial[slot]);
     });
@@ -205,6 +285,7 @@ class PartitionedCrackerColumn {
     ForEachOverlapping(first, last, [&](std::size_t p, std::size_t slot) {
       Shard& shard = *shards_[p];
       const std::lock_guard<std::mutex> guard(shard.latch);
+      shard.column.MergePendingFor(pred);
       out.partitions[slot] = {p, shard.column.Select(pred)};
     });
     return out;
@@ -225,7 +306,25 @@ class PartitionedCrackerColumn {
     return total;
   }
 
-  std::size_t size() const { return total_size_; }
+  /// Sum of all partitions' update-pipeline counters. Thread-safe.
+  UpdateStats AggregatedUpdateStats() const {
+    UpdateStats total;
+    for (const auto& shard : shards_) {
+      const std::lock_guard<std::mutex> guard(shard->latch);
+      const UpdateStats& s = shard->column.update_stats();
+      total.inserts_queued += s.inserts_queued;
+      total.deletes_queued += s.deletes_queued;
+      total.deletes_cancelled += s.deletes_cancelled;
+      total.inserts_merged += s.inserts_merged;
+      total.deletes_merged += s.deletes_merged;
+      total.ripple_element_moves += s.ripple_element_moves;
+    }
+    return total;
+  }
+
+  /// Current live tuple count (base minus deletes plus inserts, including
+  /// still-pending ones). Thread-safe.
+  std::size_t size() const { return live_size_.load(std::memory_order_relaxed); }
   std::size_t num_partitions() const { return shards_.size(); }
   /// Partition p holds values v with splitters()[p-1] <= v < splitters()[p]
   /// (unbounded at the extremes). Immutable after construction.
@@ -240,31 +339,37 @@ class PartitionedCrackerColumn {
     return shards_[p]->column;
   }
 
-  /// Full invariant sweep: every partition validates its own pieces, sizes
-  /// add up, and every partition's values respect the splitter bounds.
-  /// O(n); tests only. Thread-safe.
+  /// Full invariant sweep: every partition validates its own pieces, live
+  /// sizes add up, and every partition's values respect the splitter
+  /// bounds. O(n); tests only. Thread-safe, but the total-size check is
+  /// meaningful only when no writer is concurrently in flight.
   bool ValidatePieces() const {
-    std::size_t seen = 0;
+    std::size_t live_seen = 0;
     for (std::size_t p = 0; p < shards_.size(); ++p) {
       const std::lock_guard<std::mutex> guard(shards_[p]->latch);
-      const CrackerColumn<T>& column = shards_[p]->column;
-      if (!column.ValidatePieces()) return false;
-      seen += column.size();
+      const UpdatableCrackerColumn<T>& column = shards_[p]->column;
+      if (!column.Validate()) return false;
+      live_seen += column.live_size();
       for (const T v : column.values()) {
         if (p > 0 && v < splitters_[p - 1]) return false;
         if (p < splitters_.size() && !(v < splitters_[p])) return false;
       }
     }
-    return seen == total_size_;
+    return live_seen == size();
   }
 
  private:
   struct Shard {
     Shard(std::vector<T> values, std::vector<row_id_t> row_ids,
-          const CrackerColumnOptions& opts)
-        : column(std::move(values), std::move(row_ids), opts) {}
+          const CrackerColumnOptions& opts, const PartitionedCrackerOptions& parent)
+        : column(std::move(values), std::move(row_ids),
+                 typename UpdatableCrackerColumn<T>::Options{
+                     .policy = parent.merge_policy,
+                     .gradual_budget = parent.gradual_budget,
+                     .crack = opts},
+                 /*first_fresh_rid=*/0) {}
     mutable std::mutex latch;  // guards `column`, including its stats
-    CrackerColumn<T> column;
+    UpdatableCrackerColumn<T> column;
   };
 
   /// Equi-depth splitters from a value sample; sorted and distinct, so the
@@ -342,9 +447,11 @@ class PartitionedCrackerColumn {
 
   PartitionedCrackerOptions options_;
   ThreadPool* pool_;  // borrowed; may be null
-  std::size_t total_size_;
+  std::size_t total_size_;    // initial (base) size; live count is atomic below
   std::vector<T> splitters_;  // immutable after construction
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<row_id_t> next_rid_{0};   // globally unique fresh row ids
+  std::atomic<std::size_t> live_size_{0};
 };
 
 }  // namespace aidx

@@ -18,9 +18,16 @@
 // All three policies use the ripple mechanism for the physical move; they
 // differ in *when* and *how much* they merge, which is what the SIGMOD'07
 // experiments (and bench_e4_updates) compare.
+//
+// Deletes come in two addressing modes: by (value, row id) — the SIGMOD'07
+// tuple-precise form — and by value alone (DeleteValue), which removes an
+// arbitrary occurrence and is what the engine's multiset-semantics DML
+// surface uses. Row ids are optional; value-addressed updates work without
+// them, rid-addressed deletes require them.
 #pragma once
 
 #include <algorithm>
+#include <limits>
 #include <span>
 #include <utility>
 #include <vector>
@@ -63,10 +70,14 @@ struct UpdateStats {
   std::size_t ripple_element_moves = 0;
 };
 
+/// Sentinel row id marking a pending delete addressed by value only.
+inline constexpr row_id_t kPendingNoRid = std::numeric_limits<row_id_t>::max();
+
 /// A cracker column that additionally accepts inserts and deletes.
 ///
-/// Row ids are mandatory (deletes address tuples by row id); fresh inserts
-/// receive monotonically increasing row ids.
+/// Fresh inserts receive monotonically increasing row ids (tracked even
+/// when row-id storage is disabled, so callers can use the returned ids as
+/// stable handles only when row ids are on).
 template <ColumnValue T>
 class UpdatableCrackerColumn : public CrackerColumn<T> {
  public:
@@ -78,22 +89,40 @@ class UpdatableCrackerColumn : public CrackerColumn<T> {
   };
 
   explicit UpdatableCrackerColumn(std::span<const T> base, Options options = {})
-      : CrackerColumn<T>(base, ForceRowIds(options.crack)),
+      : CrackerColumn<T>(base, options.crack),
         options_(options),
         next_row_id_(static_cast<row_id_t>(base.size())) {}
+
+  /// Adopts pre-existing arrays without copying (partitioned columns hand
+  /// their shards over this way). Fresh inserts are assigned row ids from
+  /// `first_fresh_rid` unless the caller supplies explicit ids.
+  UpdatableCrackerColumn(std::vector<T> values, std::vector<row_id_t> row_ids,
+                         Options options, row_id_t first_fresh_rid)
+      : CrackerColumn<T>(std::move(values), std::move(row_ids), options.crack),
+        options_(options),
+        next_row_id_(first_fresh_rid) {}
 
   /// Queues an insert; returns the new tuple's row id.
   row_id_t Insert(T value) {
     const row_id_t rid = next_row_id_++;
+    InsertWithRid(value, rid);
+    return rid;
+  }
+
+  /// Queues an insert carrying a caller-chosen row id (partitioned columns
+  /// allocate globally unique ids outside the shard).
+  void InsertWithRid(T value, row_id_t rid) {
+    if (rid != kPendingNoRid && rid >= next_row_id_) next_row_id_ = rid + 1;
     pending_inserts_.push_back({value, rid});
     ++stats_.inserts_queued;
-    return rid;
   }
 
   /// Queues a delete of the tuple (value, rid). If the tuple is still a
   /// pending insert the two cancel immediately. Returns false when the
-  /// tuple was already queued for deletion (double delete).
+  /// tuple was already queued for deletion (double delete). Requires row
+  /// ids; use DeleteValue on columns built without them.
   bool Delete(T value, row_id_t rid) {
+    AIDX_CHECK(this->options().with_row_ids) << "rid deletes need row ids";
     for (std::size_t i = 0; i < pending_inserts_.size(); ++i) {
       if (pending_inserts_[i].rid == rid) {
         AIDX_DCHECK(pending_inserts_[i].value == value);
@@ -111,6 +140,55 @@ class UpdatableCrackerColumn : public CrackerColumn<T> {
     return true;
   }
 
+  /// Queues a delete of one (arbitrary) live tuple equal to `value`:
+  /// cancels a pending insert when one matches, otherwise verifies a live
+  /// occurrence exists in the cracked array (cracking on [value, value] as
+  /// a side effect — a delete is a query here too) before queueing.
+  /// Returns false when no live tuple carries the value.
+  bool DeleteValue(T value) {
+    for (std::size_t i = 0; i < pending_inserts_.size(); ++i) {
+      if (pending_inserts_[i].value == value) {
+        pending_inserts_[i] = pending_inserts_.back();
+        pending_inserts_.pop_back();
+        ++stats_.deletes_cancelled;
+        return true;
+      }
+    }
+    const auto point = RangePredicate<T>::Between(value, value);
+    const CrackSelect sel = CrackerColumn<T>::Select(point);
+    std::vector<std::size_t> positions;  // live occurrences of `value`
+    for (std::size_t p = sel.core.begin; p < sel.core.end; ++p) {
+      positions.push_back(p);
+    }
+    for (int e = 0; e < sel.num_edges; ++e) {
+      for (std::size_t p = sel.edges[e].begin; p < sel.edges[e].end; ++p) {
+        if (this->values()[p] == value) positions.push_back(p);
+      }
+    }
+    // Count queued deletes that can actually claim one of those tuples:
+    // value-addressed ones always can; rid-addressed ones only when their
+    // rid is present (a rid-delete of a nonexistent tuple — dropped
+    // silently at merge time — must not block a real delete).
+    std::size_t already_claimed = 0;
+    for (const PendingTuple& d : pending_deletes_) {
+      if (d.value != value) continue;
+      if (d.rid == kPendingNoRid) {
+        ++already_claimed;
+        continue;
+      }
+      for (const std::size_t p : positions) {
+        if (this->row_ids()[p] == d.rid) {
+          ++already_claimed;
+          break;
+        }
+      }
+    }
+    if (positions.size() <= already_claimed) return false;
+    pending_deletes_.push_back({value, kPendingNoRid});
+    ++stats_.deletes_queued;
+    return true;
+  }
+
   /// Rows matching the predicate, after adaptively merging the pending
   /// updates the predicate's range requires.
   std::size_t Count(const RangePredicate<T>& pred) {
@@ -124,8 +202,19 @@ class UpdatableCrackerColumn : public CrackerColumn<T> {
     return CrackerColumn<T>::Sum(pred);
   }
 
+  /// Folds the pending updates the predicate's range requires (policy-
+  /// dependent) without answering a query. Callers that take raw cracked
+  /// positions (Select / Materialize pipelines) use this first so the
+  /// positions reflect every update the predicate must observe.
+  void MergePendingFor(const RangePredicate<T>& pred) { MergeForQuery(pred); }
+
   std::size_t num_pending_inserts() const { return pending_inserts_.size(); }
   std::size_t num_pending_deletes() const { return pending_deletes_.size(); }
+  /// Logical tuple count: merged array plus pending inserts minus pending
+  /// (still physically present) deletes.
+  std::size_t live_size() const {
+    return this->size() + pending_inserts_.size() - pending_deletes_.size();
+  }
   const UpdateStats& update_stats() const { return stats_; }
   MergePolicy policy() const { return options_.policy; }
 
@@ -133,7 +222,7 @@ class UpdatableCrackerColumn : public CrackerColumn<T> {
   bool Validate() const {
     if (!this->ValidatePieces()) return false;
     for (const PendingTuple& t : pending_inserts_) {
-      if (t.rid >= next_row_id_) return false;
+      if (t.rid != kPendingNoRid && t.rid >= next_row_id_) return false;
     }
     return true;
   }
@@ -143,11 +232,6 @@ class UpdatableCrackerColumn : public CrackerColumn<T> {
     T value;
     row_id_t rid;
   };
-
-  static CrackerColumnOptions ForceRowIds(CrackerColumnOptions crack) {
-    crack.with_row_ids = true;
-    return crack;
-  }
 
   void MergeForQuery(const RangePredicate<T>& pred) {
     if (pending_inserts_.empty() && pending_deletes_.empty()) return;
@@ -203,6 +287,7 @@ class UpdatableCrackerColumn : public CrackerColumn<T> {
   void RippleInsert(T value, row_id_t rid) {
     auto& values = this->mutable_values();
     auto& rids = this->mutable_row_ids();
+    const bool with_rids = this->options().with_row_ids;
     auto& index = this->mutable_index();
     const std::size_t old_size = values.size();
     const PieceInfo<T> piece = index.PieceForValue(value);
@@ -215,19 +300,19 @@ class UpdatableCrackerColumn : public CrackerColumn<T> {
       });
     }
     values.push_back(value);  // placeholder; overwritten unless no cascade
-    rids.push_back(rid);
+    if (with_rids) rids.push_back(rid);
     std::size_t hole = old_size;
     for (auto it = boundaries.rbegin(); it != boundaries.rend(); ++it) {
       const std::size_t b = *it;
       if (hole != b) {
         values[hole] = values[b];
-        rids[hole] = rids[b];
+        if (with_rids) rids[hole] = rids[b];
         ++stats_.ripple_element_moves;
       }
       hole = b;
     }
     values[hole] = value;
-    rids[hole] = rid;
+    if (with_rids) rids[hole] = rid;
     if (piece.upper.has_value()) {
       index.VisitCutsFrom(*piece.upper,
                           [](const Cut<T>&, std::size_t& pos) { ++pos; });
@@ -235,23 +320,40 @@ class UpdatableCrackerColumn : public CrackerColumn<T> {
     index.set_column_size(old_size + 1);
   }
 
-  /// Removes the tuple (value, rid) by cascading the last element of each
-  /// downstream piece into the hole, shrinking the array by one at the end.
+  /// True when some pending rid-addressed delete targets row id `rid`
+  /// (value-addressed deletes must not steal such a tuple).
+  bool RidPendingDelete(row_id_t rid) const {
+    for (const PendingTuple& d : pending_deletes_) {
+      if (d.rid == rid) return true;
+    }
+    return false;
+  }
+
+  /// Removes the tuple (value, rid) — or, when rid is kPendingNoRid, an
+  /// arbitrary tuple equal to `value` — by cascading the last element of
+  /// each downstream piece into the hole, shrinking the array by one.
   void RippleDelete(T value, row_id_t rid) {
     auto& values = this->mutable_values();
     auto& rids = this->mutable_row_ids();
+    const bool with_rids = this->options().with_row_ids;
     auto& index = this->mutable_index();
     const std::size_t old_size = values.size();
     const PieceInfo<T> piece = index.PieceForValue(value);
 
-    // Locate the victim inside its piece.
+    // Locate the victim inside its piece. Value-addressed deletes skip
+    // tuples claimed by a still-pending rid-addressed delete so the two
+    // forms never race for the same physical tuple.
     std::size_t pos = piece.end;
     for (std::size_t i = piece.begin; i < piece.end; ++i) {
-      if (rids[i] == rid) {
+      if (rid != kPendingNoRid) {
+        if (rids[i] != rid) continue;
         AIDX_DCHECK(values[i] == value);
-        pos = i;
-        break;
+      } else {
+        if (values[i] != value) continue;
+        if (with_rids && RidPendingDelete(rids[i])) continue;
       }
+      pos = i;
+      break;
     }
     if (pos == piece.end) return;  // unknown tuple: drop silently (see tests)
 
@@ -268,7 +370,7 @@ class UpdatableCrackerColumn : public CrackerColumn<T> {
     const auto move_last = [&](std::size_t end) {
       if (hole != end - 1) {
         values[hole] = values[end - 1];
-        rids[hole] = rids[end - 1];
+        if (with_rids) rids[hole] = rids[end - 1];
         ++stats_.ripple_element_moves;
       }
       hole = end - 1;
@@ -279,7 +381,7 @@ class UpdatableCrackerColumn : public CrackerColumn<T> {
     }
     AIDX_DCHECK(hole == old_size - 1);
     values.pop_back();
-    rids.pop_back();
+    if (with_rids) rids.pop_back();
     if (piece.upper.has_value()) {
       index.VisitCutsFrom(*piece.upper,
                           [](const Cut<T>&, std::size_t& pos_ref) { --pos_ref; });

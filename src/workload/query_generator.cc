@@ -167,4 +167,54 @@ std::vector<Pred> GenerateQueries(const WorkloadSpec& spec) {
   return out;
 }
 
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kQuery:
+      return "query";
+    case OpKind::kInsert:
+      return "insert";
+    case OpKind::kDelete:
+      return "delete";
+  }
+  return "?";
+}
+
+std::vector<WorkloadOp> GenerateMixedWorkload(const MixedWorkloadSpec& spec) {
+  AIDX_CHECK(spec.insert_fraction >= 0 && spec.delete_fraction >= 0 &&
+             spec.insert_fraction + spec.delete_fraction <= 1.0)
+      << "write fractions must be non-negative and sum to at most 1";
+  const std::vector<RangePredicate<std::int64_t>> queries = GenerateQueries(spec.read);
+  Rng rng(spec.seed);
+  std::vector<WorkloadOp> out;
+  out.reserve(queries.size());
+  std::vector<std::int64_t> inserted;  // values deletes can re-target
+  std::size_t next_query = 0;
+  const auto domain = static_cast<std::uint64_t>(spec.read.domain);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const double dice =
+        static_cast<double>(rng.NextBounded(1u << 20)) / static_cast<double>(1u << 20);
+    WorkloadOp op;
+    if (dice < spec.insert_fraction) {
+      op.kind = OpKind::kInsert;
+      op.value = static_cast<std::int64_t>(rng.NextBounded(domain));
+      inserted.push_back(op.value);
+    } else if (dice < spec.insert_fraction + spec.delete_fraction) {
+      op.kind = OpKind::kDelete;
+      if (!inserted.empty() && rng.NextBounded(2) == 0) {
+        const std::size_t pick = rng.NextBounded(inserted.size());
+        op.value = inserted[pick];
+        inserted[pick] = inserted.back();
+        inserted.pop_back();
+      } else {
+        op.value = static_cast<std::int64_t>(rng.NextBounded(domain));
+      }
+    } else {
+      op.kind = OpKind::kQuery;
+      op.pred = queries[next_query++];
+    }
+    out.push_back(op);
+  }
+  return out;
+}
+
 }  // namespace aidx

@@ -60,4 +60,35 @@ struct WorkloadSpec {
 /// Generates the predicate sequence for the spec. Deterministic in the seed.
 std::vector<RangePredicate<std::int64_t>> GenerateQueries(const WorkloadSpec& spec);
 
+/// One step of a mixed read/write workload.
+enum class OpKind : char {
+  kQuery,
+  kInsert,
+  kDelete,
+};
+
+const char* OpKindName(OpKind kind);
+
+struct WorkloadOp {
+  OpKind kind = OpKind::kQuery;
+  RangePredicate<std::int64_t> pred{};  // kQuery
+  std::int64_t value = 0;               // kInsert / kDelete
+};
+
+/// A read workload (any TPCTC pattern) interleaved with writes. Reads are
+/// generated from `read`; each op slot then becomes an insert or delete
+/// with the given probabilities. `read.num_queries` is the *total* op
+/// count. Deletes target a previously inserted value half the time (so a
+/// realistic share actually hits) and a uniform domain value otherwise.
+struct MixedWorkloadSpec {
+  WorkloadSpec read{};
+  double insert_fraction = 0.1;
+  double delete_fraction = 0.05;
+  std::uint64_t seed = 17;  // interleaving + write-value randomness
+};
+
+/// Generates the op sequence for the spec. Deterministic in the seeds, so
+/// every strategy replays the identical interleaving.
+std::vector<WorkloadOp> GenerateMixedWorkload(const MixedWorkloadSpec& spec);
+
 }  // namespace aidx

@@ -59,4 +59,41 @@ RunResult RunWorkload(std::span<const std::int64_t> base, const StrategyConfig& 
       config.DisplayName(), std::move(workload_name));
 }
 
+RunResult RunMixedWorkload(
+    const std::function<std::unique_ptr<AccessPath<std::int64_t>>()>& factory,
+    std::span<const WorkloadOp> ops, std::string strategy_name,
+    std::string workload_name) {
+  RunResult result;
+  result.strategy = std::move(strategy_name);
+  result.workload = std::move(workload_name);
+  result.per_query_seconds.reserve(ops.size());
+  std::unique_ptr<AccessPath<std::int64_t>> path;
+  for (const WorkloadOp& op : ops) {
+    WallTimer timer;
+    if (path == nullptr) path = factory();  // init charged to first op
+    switch (op.kind) {
+      case OpKind::kQuery:
+        result.count_checksum += path->Count(op.pred);
+        break;
+      case OpKind::kInsert:
+        path->Insert(op.value);
+        break;
+      case OpKind::kDelete:
+        result.deletes_applied += path->Delete(op.value) ? 1 : 0;
+        break;
+    }
+    result.per_query_seconds.push_back(timer.ElapsedSeconds());
+  }
+  return result;
+}
+
+RunResult RunMixedWorkload(std::span<const std::int64_t> base,
+                           const StrategyConfig& config,
+                           std::span<const WorkloadOp> ops,
+                           std::string workload_name) {
+  return RunMixedWorkload(
+      [base, config]() { return MakeAccessPath<std::int64_t>(base, config); }, ops,
+      config.DisplayName(), std::move(workload_name));
+}
+
 }  // namespace aidx

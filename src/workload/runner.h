@@ -1,6 +1,6 @@
-// The workload runner: executes a predicate sequence against one strategy,
-// recording per-query wall-clock times — the raw series behind every
-// figure in EXPERIMENTS.md.
+// The workload runner: executes a predicate sequence — or a mixed
+// read/write op sequence — against one strategy, recording per-op
+// wall-clock times — the raw series behind every figure in EXPERIMENTS.md.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +12,7 @@
 
 #include "exec/access_path.h"
 #include "storage/predicate.h"
+#include "workload/query_generator.h"
 
 namespace aidx {
 
@@ -22,6 +23,9 @@ struct RunResult {
   std::vector<double> per_query_seconds;
   /// Sum of all result counts: equal across strategies iff they agree.
   std::uint64_t count_checksum = 0;
+  /// Mixed workloads only: how many deletes found a victim — also equal
+  /// across strategies iff they agree on the live multiset.
+  std::uint64_t deletes_applied = 0;
 
   double total_seconds() const;
   double first_query_seconds() const;
@@ -43,5 +47,21 @@ RunResult RunWorkload(
 RunResult RunWorkload(std::span<const std::int64_t> base, const StrategyConfig& config,
                       std::span<const RangePredicate<std::int64_t>> queries,
                       std::string workload_name);
+
+/// Runs a mixed read/write op sequence through the uniform AccessPath
+/// interface — every strategy absorbs the same inserts/deletes through its
+/// own write path. Timing and lazy-construction rules match RunWorkload;
+/// every op (reads and writes alike) contributes one per_query_seconds
+/// entry.
+RunResult RunMixedWorkload(
+    const std::function<std::unique_ptr<AccessPath<std::int64_t>>()>& factory,
+    std::span<const WorkloadOp> ops, std::string strategy_name,
+    std::string workload_name);
+
+/// Convenience overload: build the path from a borrowed column + config.
+RunResult RunMixedWorkload(std::span<const std::int64_t> base,
+                           const StrategyConfig& config,
+                           std::span<const WorkloadOp> ops,
+                           std::string workload_name);
 
 }  // namespace aidx

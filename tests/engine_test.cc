@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "exec/access_path.h"
@@ -170,6 +171,131 @@ TEST(DatabaseTest, ResetAdaptiveStateDropsCaches) {
   // Still answers after reset (fresh adaptive state).
   auto count = db.Count("t", "v", Pred::Between(1, 50), StrategyConfig::Crack());
   ASSERT_TRUE(count.ok());
+}
+
+// Regression for the old DisplayName-keyed cache: same-kind configs that
+// differ only in knobs the name omits must get distinct adaptive
+// structures (AdaptiveMerge(512) and AdaptiveMerge(2048) both print
+// "merge" and used to alias).
+TEST(DatabaseTest, StructuralCacheKeyDistinguishesKnobs) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t").ok());
+  ASSERT_TRUE(db.AddColumn("t", "v", RandomValues(4000, 1000, 57)).ok());
+  const auto p = Pred::Between(100, 500);
+  ASSERT_TRUE(db.Count("t", "v", p, StrategyConfig::AdaptiveMerge(512)).ok());
+  ASSERT_TRUE(db.Count("t", "v", p, StrategyConfig::AdaptiveMerge(2048)).ok());
+  EXPECT_EQ(db.num_cached_paths(), 2u);
+  // Same for crack configs differing only in merge policy.
+  StrategyConfig mci = StrategyConfig::Crack();
+  mci.merge_policy = MergePolicy::kComplete;
+  ASSERT_TRUE(db.Count("t", "v", p, StrategyConfig::Crack()).ok());
+  ASSERT_TRUE(db.Count("t", "v", p, mci).ok());
+  EXPECT_EQ(db.num_cached_paths(), 4u);
+  // Identical configs still share one structure.
+  ASSERT_TRUE(db.Count("t", "v", p, StrategyConfig::AdaptiveMerge(512)).ok());
+  EXPECT_EQ(db.num_cached_paths(), 4u);
+}
+
+TEST(DatabaseTest, InsertAndDeleteKeepEveryCachedPathConsistent) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t").ok());
+  auto values = RandomValues(3000, 1000, 58);
+  ASSERT_TRUE(db.AddColumn("t", "v", std::vector<std::int64_t>(values)).ok());
+
+  const std::vector<StrategyConfig> configs = {
+      StrategyConfig::FullScan(),
+      StrategyConfig::FullSort(),
+      StrategyConfig::BTree(),
+      StrategyConfig::Crack(),
+      StrategyConfig::StochasticCrack(512),
+      StrategyConfig::AdaptiveMerge(700),
+      StrategyConfig::Hybrid(OrganizeMode::kCrack, OrganizeMode::kSort, 700),
+      StrategyConfig::ParallelCrack(4, 1),
+  };
+  const auto p = Pred::Between(200, 600);
+  // Warm every path, then write through the facade.
+  for (const auto& config : configs) {
+    ASSERT_TRUE(db.Count("t", "v", p, config).ok());
+  }
+  Rng rng(59);
+  for (int i = 0; i < 50; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.NextBounded(1000));
+    ASSERT_TRUE(db.Insert("t", "v", v).ok());
+    values.push_back(v);
+  }
+  for (int i = 0; i < 20; ++i) {
+    const auto v = values[rng.NextBounded(values.size())];
+    auto deleted = db.Delete("t", "v", v);
+    ASSERT_TRUE(deleted.ok());
+    EXPECT_TRUE(*deleted);
+    values.erase(std::find(values.begin(), values.end(), v));
+  }
+  const std::size_t expect = ScanCount<std::int64_t>(values, p);
+  for (const auto& config : configs) {
+    auto count = db.Count("t", "v", p, config);
+    ASSERT_TRUE(count.ok()) << config.DisplayName();
+    EXPECT_EQ(*count, expect) << config.DisplayName();
+  }
+  // A path created only now (fresh strategy) sees the mutated base.
+  auto fresh = db.Count("t", "v", p, StrategyConfig::AdaptiveMerge(512));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(*fresh, expect);
+  // The catalog's base column mirrors the live multiset.
+  auto span = db.catalog().GetTable("t").value()->GetTypedColumn<std::int64_t>("v");
+  ASSERT_TRUE(span.ok());
+  EXPECT_EQ((*span)->size(), values.size());
+}
+
+TEST(DatabaseTest, DeleteOfAbsentValueIsANoOp) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t").ok());
+  ASSERT_TRUE(db.AddColumn("t", "v", {1, 2, 3}).ok());
+  ASSERT_TRUE(db.Count("t", "v", Pred::All(), StrategyConfig::Crack()).ok());
+  auto deleted = db.Delete("t", "v", 99);
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_FALSE(*deleted);
+  auto count = db.Count("t", "v", Pred::All(), StrategyConfig::Crack());
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 3u);
+  EXPECT_TRUE(db.Delete("ghost", "v", 1).status().IsNotFound());
+}
+
+TEST(DatabaseTest, InsertBatchMatchesScalarInserts) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t").ok());
+  auto values = RandomValues(500, 100, 60);
+  ASSERT_TRUE(db.AddColumn("t", "v", std::vector<std::int64_t>(values)).ok());
+  const auto p = Pred::Between(10, 90);
+  ASSERT_TRUE(db.Count("t", "v", p, StrategyConfig::Crack()).ok());
+  const std::vector<std::int64_t> batch = {5, 50, 95, 50};
+  ASSERT_TRUE(db.InsertBatch("t", "v", batch).ok());
+  values.insert(values.end(), batch.begin(), batch.end());
+  auto count = db.Count("t", "v", p, StrategyConfig::Crack());
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, ScanCount<std::int64_t>(values, p));
+}
+
+// Writes drop the table's cached sideways crackers (they borrow base
+// storage); the next SelectProject rebuilds from the new base.
+TEST(DatabaseTest, SidewaysRebuiltAfterWrites) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t").ok());
+  ASSERT_TRUE(db.AddColumn("t", "k", {10, 20, 30}).ok());
+  ASSERT_TRUE(db.AddColumn("t", "a", {1, 2, 3}).ok());
+  const auto p = Pred::Between(10, 30);
+  auto before = db.SelectProject("t", "k", p, {"a"});
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->num_rows, 3u);
+  // Write to both columns so the table's row count stays aligned.
+  ASSERT_TRUE(db.Insert("t", "k", 25).ok());
+  ASSERT_TRUE(db.Insert("t", "a", 9).ok());
+  auto after = db.SelectProject("t", "k", p, {"a"});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->num_rows, 4u);
+  // A write to only one column desynchronizes the table; SelectProject
+  // reports it instead of answering from stale maps.
+  ASSERT_TRUE(db.Insert("t", "k", 15).ok());
+  EXPECT_FALSE(db.SelectProject("t", "k", p, {"a"}).ok());
 }
 
 TEST(OperatorsTest, GatherAndPermutation) {

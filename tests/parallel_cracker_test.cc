@@ -293,5 +293,144 @@ TEST(PartitionedCrackerTest, ParallelCrackPathMatchesCrackPath) {
   EXPECT_EQ(parallel->name(), "pcrack(4x1)");
 }
 
+// Single-threaded write semantics through the partitioned column: inserts
+// and deletes route to the splitter-owning partition and the aggregate
+// answers match a mutated-vector oracle.
+TEST(PartitionedCrackerTest, UpdatesMatchOracleSingleThreaded) {
+  constexpr std::int64_t kDomain = 2000;
+  auto model = RandomValues(8000, kDomain, 61);
+  Column col(model, {.num_partitions = 6});
+  Rng rng(62);
+  for (int step = 0; step < 600; ++step) {
+    const auto dice = rng.NextBounded(10);
+    if (dice < 3) {
+      const auto v = static_cast<std::int64_t>(rng.NextBounded(kDomain));
+      col.Insert(v);
+      model.push_back(v);
+    } else if (dice < 5 && !model.empty()) {
+      const std::size_t pick = rng.NextBounded(model.size());
+      const std::int64_t v = model[pick];
+      ASSERT_TRUE(col.Delete(v)) << "step " << step;
+      model[pick] = model.back();
+      model.pop_back();
+    } else {
+      const Pred p = RandomPredicate(&rng, kDomain);
+      ASSERT_EQ(col.Count(p), ScanCount<std::int64_t>(model, p))
+          << "step " << step << " " << p.ToString();
+    }
+  }
+  EXPECT_FALSE(col.Delete(kDomain + 7));  // absent value
+  EXPECT_EQ(col.size(), model.size());
+  EXPECT_TRUE(col.ValidatePieces());
+}
+
+// Concurrent writers and readers on one shared column: writer threads
+// insert disjoint fresh values and delete some of their own inserts,
+// reader threads issue range counts throughout. The readers cannot check
+// exact counts mid-flight (writes race them by design); afterwards the
+// total must balance and every invariant must hold. Run under TSan by
+// scripts/check.sh --tsan / CI.
+TEST(PartitionedCrackerTest, ConcurrentWriterStress) {
+  constexpr std::size_t kWriters = 4;
+  constexpr std::size_t kReaders = 4;
+  constexpr int kOpsPerWriter = 400;
+  constexpr std::int64_t kDomain = 2000;
+  const auto base = RandomValues(20000, kDomain, 63);
+  Column col(base, {.num_partitions = 8});
+
+  std::atomic<std::size_t> inserted{0};
+  std::atomic<std::size_t> deleted{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders);
+  for (std::size_t t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(3000 + t);
+      std::vector<std::int64_t> own;  // this thread's not-yet-deleted inserts
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        if (own.empty() || rng.NextBounded(3) != 0) {
+          // Values above the base domain, so only their inserter deletes
+          // them and every delete must succeed.
+          const auto v = static_cast<std::int64_t>(
+              kDomain + 1 + t + kWriters * rng.NextBounded(1000));
+          col.Insert(v);
+          own.push_back(v);
+          inserted.fetch_add(1);
+        } else {
+          const std::size_t pick = rng.NextBounded(own.size());
+          if (col.Delete(own[pick])) {
+            deleted.fetch_add(1);
+          } else {
+            failures.fetch_add(1);
+          }
+          own[pick] = own.back();
+          own.pop_back();
+        }
+      }
+    });
+  }
+  for (std::size_t t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(4000 + t);
+      for (int q = 0; q < kOpsPerWriter; ++q) {
+        const Pred p = RandomPredicate(&rng, kDomain);
+        // Base values are never deleted, so the count is at least the
+        // base's and at most base + all concurrent inserts.
+        const std::size_t got = col.Count(p);
+        if (got < ScanCount<std::int64_t>(base, p)) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(col.size(), base.size() + inserted.load() - deleted.load());
+  EXPECT_EQ(col.Count(Pred::All()), col.size());
+  EXPECT_TRUE(col.ValidatePieces());
+  const UpdateStats stats = col.AggregatedUpdateStats();
+  EXPECT_EQ(stats.inserts_queued, inserted.load());
+}
+
+// Same through the shared kParallelCrack access path, including the racy
+// lazy-construction moment with writers in the mix.
+TEST(PartitionedCrackerTest, ConcurrentMixedAccessPathStress) {
+  constexpr std::size_t kThreads = 6;
+  constexpr int kOpsPerThread = 200;
+  constexpr std::int64_t kDomain = 1500;
+  const auto base = RandomValues(15000, kDomain, 67);
+  const auto path =
+      MakeAccessPath<std::int64_t>(base, StrategyConfig::ParallelCrack(8, 2));
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(5000 + t);
+      std::vector<std::int64_t> own;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const auto dice = rng.NextBounded(10);
+        if (dice < 2) {
+          const auto v = static_cast<std::int64_t>(
+              kDomain + 1 + t + kThreads * rng.NextBounded(500));
+          path->Insert(v);
+          own.push_back(v);
+        } else if (dice < 4 && !own.empty()) {
+          const std::size_t pick = rng.NextBounded(own.size());
+          if (!path->Delete(own[pick])) failures.fetch_add(1);
+          own[pick] = own.back();
+          own.pop_back();
+        } else {
+          const Pred p = RandomPredicate(&rng, kDomain);
+          if (path->Count(p) < ScanCount<std::int64_t>(base, p)) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 }  // namespace
 }  // namespace aidx
