@@ -4,15 +4,24 @@
 // finish in tens of seconds; the environment variables AIDX_N (column
 // size), AIDX_Q (queries per run), and AIDX_CSV_DIR (CSV output directory,
 // empty to disable) override them for full-scale runs.
+//
+// Machine-readable output: passing `--json` to a bench binary makes its
+// JsonReport write BENCH_<name>.json (into AIDX_JSON_DIR, default ".") —
+// one flat JSON document of result rows, the recorded perf trajectory CI
+// archives on every push (scripts/check.sh --bench-smoke). See
+// docs/BENCHMARKS.md for the schema and how to read it.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <latch>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/timer.h"
@@ -58,6 +67,167 @@ struct ThroughputResult {
     return wall_seconds > 0 ? static_cast<double>(total_queries) / wall_seconds
                             : 0;
   }
+};
+
+/// One key/value cell of a JSON result row. Values are stored pre-rendered
+/// (numbers verbatim, strings quoted+escaped) so a row is just a join.
+struct JsonCell {
+  std::string key;
+  std::string rendered;
+};
+
+/// Minimal JSON string escaping (quotes, backslash, control chars) — the
+/// bench vocabulary is ASCII identifiers, but the writer must never emit
+/// invalid JSON regardless of input.
+inline std::string JsonEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One result row: an ordered set of typed key/value pairs. Rows carry a
+/// `section` key so one file can hold several experiment axes.
+class JsonRow {
+ public:
+  JsonRow& Set(std::string_view key, std::string_view value) {
+    std::string rendered;
+    rendered.append(1, '"');
+    rendered.append(JsonEscape(value));
+    rendered.append(1, '"');
+    cells_.push_back({std::string(key), std::move(rendered)});
+    return *this;
+  }
+  JsonRow& Set(std::string_view key, const char* value) {
+    return Set(key, std::string_view(value));
+  }
+  JsonRow& Set(std::string_view key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    cells_.push_back({std::string(key), buf});
+    return *this;
+  }
+  JsonRow& Set(std::string_view key, std::size_t value) {
+    cells_.push_back({std::string(key), std::to_string(value)});
+    return *this;
+  }
+  JsonRow& Set(std::string_view key, int value) {
+    cells_.push_back({std::string(key), std::to_string(value)});
+    return *this;
+  }
+  JsonRow& Set(std::string_view key, bool value) {
+    cells_.push_back({std::string(key), value ? "true" : "false"});
+    return *this;
+  }
+
+  // Built with append() rather than operator+ chains: the temporaries the
+  // latter creates trip GCC's -Werror=restrict false positive at -O3,
+  // which the repo's warnings-as-errors policy turns fatal.
+  void Render(std::string* out) const {
+    out->append("    {");
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (i > 0) out->append(", ");
+      out->append(1, '"');
+      out->append(JsonEscape(cells_[i].key));
+      out->append("\": ");
+      out->append(cells_[i].rendered);
+    }
+    out->append("}");
+  }
+
+ private:
+  std::vector<JsonCell> cells_;
+};
+
+/// Collects rows and writes BENCH_<name>.json when the binary was invoked
+/// with `--json`. Rows are recorded unconditionally (the cost is trivial
+/// next to any measurement), so bench code needs no `if (json)` branches;
+/// Write() is a no-op without the flag.
+class JsonReport {
+ public:
+  /// `name` is the file stem ("e12_crack_kernels" -> BENCH_e12_crack_kernels.json).
+  JsonReport(std::string name, int argc, char** argv) : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) == "--json") enabled_ = true;
+    }
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Adds a result row tagged with `section`.
+  JsonRow& AddRow(std::string_view section) {
+    rows_.emplace_back();
+    rows_.back().Set("section", section);
+    return rows_.back();
+  }
+
+  /// Writes BENCH_<name>.json into AIDX_JSON_DIR (default "."). Returns
+  /// the path written, or "" when --json was not given or the write
+  /// failed (failure also prints to stderr — CI treats the missing file
+  /// as the signal).
+  std::string Write() const {
+    if (!enabled_) return "";
+    const char* dir_env = std::getenv("AIDX_JSON_DIR");
+    const std::string dir = (dir_env == nullptr || dir_env[0] == '\0')
+                                ? std::string(".")
+                                : std::string(dir_env);
+    std::string path = dir;
+    path.append("/BENCH_");
+    path.append(name_);
+    path.append(".json");
+    std::string out;
+    out.append("{\n  \"bench\": \"");
+    out.append(JsonEscape(name_));
+    out.append("\",\n  \"schema_version\": 1,\n  \"env\": {\"n\": ");
+    out.append(std::to_string(ColumnSize()));
+    out.append(", \"q\": ");
+    out.append(std::to_string(NumQueries()));
+    out.append("},\n  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      rows_[i].Render(&out);
+      if (i + 1 < rows_.size()) out.append(",");
+      out.append("\n");
+    }
+    out.append("  ]\n}\n");
+    std::ofstream file(path, std::ios::trunc);
+    if (!file || !(file << out)) {
+      std::cerr << "JsonReport: cannot write " << path << "\n";
+      return "";
+    }
+    std::cout << "\njson: wrote " << path << "\n";
+    return path;
+  }
+
+ private:
+  std::string name_;
+  bool enabled_ = false;
+  std::vector<JsonRow> rows_;
 };
 
 /// Runs `body(thread, query)` for queries_per_thread queries on each of

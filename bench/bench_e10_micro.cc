@@ -54,32 +54,79 @@ void BM_BinarySearchQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_BinarySearchQuery);
 
+// Crack primitives per kernel (second arg: 0 = branchy, 1 = predicated,
+// 2 = unrolled — CrackKernel's enumerator order). bench_e12 is the full
+// shootout; these registrations keep the kernels visible in the micro
+// suite's one-stop cost table.
 void BM_CrackInTwo(benchmark::State& state) {
   const auto base = Data(static_cast<std::size_t>(state.range(0)));
+  const auto kernel = static_cast<CrackKernel>(state.range(1));
   const Cut<std::int64_t> cut{state.range(0) / 2, CutKind::kLess};
   for (auto _ : state) {
     state.PauseTiming();
     auto copy = base;
     state.ResumeTiming();
-    benchmark::DoNotOptimize(CrackInTwo<std::int64_t>(copy, {}, cut));
+    benchmark::DoNotOptimize(CrackInTwo<std::int64_t>(copy, {}, cut, kernel));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(CrackKernelName(kernel));
 }
-BENCHMARK(BM_CrackInTwo)->Arg(1 << 18)->Arg(1 << 21)->Iterations(30);
+BENCHMARK(BM_CrackInTwo)
+    ->ArgNames({"n", "kernel"})
+    ->Args({1 << 18, 0})
+    ->Args({1 << 18, 1})
+    ->Args({1 << 18, 2})
+    ->Args({1 << 21, 0})
+    ->Args({1 << 21, 1})
+    ->Args({1 << 21, 2})
+    ->Iterations(30);
+
+void BM_CrackInTwoTandem(benchmark::State& state) {
+  const auto base = Data(static_cast<std::size_t>(state.range(0)));
+  const auto kernel = static_cast<CrackKernel>(state.range(1));
+  const Cut<std::int64_t> cut{state.range(0) / 2, CutKind::kLess};
+  std::vector<row_id_t> rids(base.size());
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto copy = base;
+    for (std::size_t i = 0; i < rids.size(); ++i) rids[i] = static_cast<row_id_t>(i);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(CrackInTwo<std::int64_t>(
+        copy, std::span<row_id_t>(rids), cut, kernel));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(CrackKernelName(kernel));
+}
+BENCHMARK(BM_CrackInTwoTandem)
+    ->ArgNames({"n", "kernel"})
+    ->Args({1 << 21, 0})
+    ->Args({1 << 21, 1})
+    ->Args({1 << 21, 2})
+    ->Iterations(30);
 
 void BM_CrackInThree(benchmark::State& state) {
   const auto base = Data(static_cast<std::size_t>(state.range(0)));
+  const auto kernel = static_cast<CrackKernel>(state.range(1));
   const Cut<std::int64_t> lo{state.range(0) / 3, CutKind::kLess};
   const Cut<std::int64_t> hi{2 * state.range(0) / 3, CutKind::kLessEq};
   for (auto _ : state) {
     state.PauseTiming();
     auto copy = base;
     state.ResumeTiming();
-    benchmark::DoNotOptimize(CrackInThree<std::int64_t>(copy, {}, lo, hi));
+    benchmark::DoNotOptimize(CrackInThree<std::int64_t>(copy, {}, lo, hi, kernel));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(CrackKernelName(kernel));
 }
-BENCHMARK(BM_CrackInThree)->Arg(1 << 18)->Arg(1 << 21)->Iterations(30);
+BENCHMARK(BM_CrackInThree)
+    ->ArgNames({"n", "kernel"})
+    ->Args({1 << 18, 0})
+    ->Args({1 << 18, 1})
+    ->Args({1 << 18, 2})
+    ->Args({1 << 21, 0})
+    ->Args({1 << 21, 1})
+    ->Args({1 << 21, 2})
+    ->Iterations(30);
 
 void BM_CrackedQuerySequence(benchmark::State& state) {
   // Per-query cost after `range` queries of warm-up: shows convergence.

@@ -62,7 +62,8 @@ std::string Format2(double x) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json("e11_parallel_scaling", argc, argv);
   bench::PrintHeader("E11 parallel scaling",
                      "multi-core adaptive indexing (Alvarez et al. / Graefe "
                      "et al. follow-ups to the tutorial)");
@@ -136,6 +137,11 @@ int main() {
     csv_rows.push_back({"threads", std::to_string(threads),
                         std::to_string(parallel.QueriesPerSecond()),
                         std::to_string(latched.QueriesPerSecond())});
+    json.AddRow("threads_sweep")
+        .Set("threads", std::size_t{threads})
+        .Set("partitions", std::size_t{8})
+        .Set("pcrack_qps", parallel.QueriesPerSecond())
+        .Set("latched_qps", latched.QueriesPerSecond());
   }
   by_threads.Print(std::cout);
 
@@ -162,6 +168,10 @@ int main() {
          std::to_string(static_cast<std::size_t>(result.QueriesPerSecond()))});
     csv_rows.push_back({"partitions", std::to_string(partitions),
                         std::to_string(result.QueriesPerSecond()), ""});
+    json.AddRow("partitions_sweep")
+        .Set("partitions", std::size_t{partitions})
+        .Set("threads", std::size_t{4})
+        .Set("pcrack_qps", result.QueriesPerSecond());
   }
   by_partitions.Print(std::cout);
 
@@ -171,5 +181,6 @@ int main() {
         WriteCsv(csv, {"sweep", "x", "pcrack_qps", "latched_qps"}, csv_rows);
     if (st.ok()) std::cout << "\nseries written to " << csv << "\n";
   }
+  json.Write();
   return 0;
 }

@@ -1,0 +1,298 @@
+// E12 — Crack-kernel shootout: branchy vs predicated vs unrolled
+// (core/crack_ops.h) as raw partitioning throughput and as full-workload
+// convergence, across value types, tandem payloads, and piece sizes.
+//
+// The kernels rewrite the innermost loops every strategy bottoms out in;
+// this bench is the falsifiable record of what that buys. Sections:
+//
+//   crack_in_two    raw single-crack throughput per kernel × type × tandem
+//   crack_in_three  raw three-way crack throughput per kernel
+//   piece_sweep     throughput vs piece size (shows the dispatch crossover:
+//                   below kPredicationMinPiece all kernels run branchy)
+//   convergence     full random-range workloads through CrackerColumn
+//                   (crack and stochastic), per kernel
+//   headline        predicated vs branchy on uniform-random int32 — the
+//                   acceptance metric; `note` documents the outcome either
+//                   way so a regression (or predication-hostile hardware)
+//                   is visible in the recorded JSON, not silent
+//
+// `--json` writes BENCH_e12_crack_kernels.json (see bench_common.h);
+// scripts/check.sh --bench-smoke runs this at reduced scale on every push.
+// Unless AIDX_N overrides it, the raw-kernel sections run at 2^24 rows
+// (16.7M — above the 10M the headline claim is stated at); the
+// convergence section uses the usual AIDX_N/AIDX_Q defaults.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/crack_ops.h"
+#include "core/cracker_column.h"
+#include "exec/access_path.h"
+#include "storage/types.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/data_generator.h"
+#include "workload/query_generator.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+using namespace aidx;
+
+namespace {
+
+constexpr CrackKernel kKernels[] = {
+    CrackKernel::kBranchy,
+    CrackKernel::kPredicated,
+    CrackKernel::kPredicatedUnrolled,
+};
+
+bool EnvIsSet(const char* name) {
+  const char* raw = std::getenv(name);
+  return raw != nullptr && raw[0] != '\0';
+}
+
+/// Rows for the raw-kernel sections: honour an explicit AIDX_N, otherwise
+/// use 2^24 so the headline comparison runs above 10M rows.
+std::size_t RawKernelRows() {
+  if (EnvIsSet("AIDX_N")) return bench::ColumnSize();
+  return std::max(bench::ColumnSize(), std::size_t{1} << 24);
+}
+
+template <ColumnValue T>
+std::vector<T> UniformValues(std::size_t n, std::uint64_t domain, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T> out(n);
+  for (auto& v : out) v = static_cast<T>(rng.NextBounded(domain));
+  return out;
+}
+
+/// Best-of-3 wall time of one `op(dst)` over a fresh copy of `base`. The
+/// copy and the per-rep `prep` hook (payload resets and the like) run
+/// outside the timed region, so only `op` is measured.
+template <ColumnValue T, typename Op, typename Prep>
+double BestOfThree(const std::vector<T>& base, Prep&& prep, Op&& op) {
+  double best = -1;
+  std::vector<T> work(base.size());
+  for (int rep = 0; rep < 3; ++rep) {
+    std::copy(base.begin(), base.end(), work.begin());
+    prep();
+    WallTimer timer;
+    op(std::span<T>(work));
+    const double s = timer.ElapsedSeconds();
+    if (best < 0 || s < best) best = s;
+  }
+  return best;
+}
+
+template <ColumnValue T, typename Op>
+double BestOfThree(const std::vector<T>& base, Op&& op) {
+  return BestOfThree<T>(base, [] {}, std::forward<Op>(op));
+}
+
+double MRowsPerSec(std::size_t rows, double seconds) {
+  return seconds > 0 ? static_cast<double>(rows) / seconds / 1e6 : 0;
+}
+
+template <ColumnValue T>
+void RawCrackInTwoSection(const char* type_name, std::size_t n,
+                          bench::JsonReport* json, TablePrinter* table,
+                          double* branchy_out, double* predicated_out) {
+  const std::uint64_t domain = 1u << 20;
+  const auto base = UniformValues<T>(n, domain, 7);
+  const Cut<T> cut{static_cast<T>(domain / 2), CutKind::kLess};
+  std::vector<row_id_t> rids(n);
+  for (const bool tandem : {false, true}) {
+    for (const CrackKernel kernel : kKernels) {
+      const double secs = BestOfThree<T>(
+          base,
+          [&] {
+            if (!tandem) return;
+            for (std::size_t i = 0; i < rids.size(); ++i) {
+              rids[i] = static_cast<row_id_t>(i);
+            }
+          },
+          [&](std::span<T> work) {
+            if (tandem) {
+              CrackInTwo<T>(work, std::span<row_id_t>(rids), cut, kernel);
+            } else {
+              CrackInTwo<T>(work, {}, cut, kernel);
+            }
+          });
+      const double mrows = MRowsPerSec(n, secs);
+      json->AddRow("crack_in_two")
+          .Set("type", type_name)
+          .Set("tandem", tandem)
+          .Set("kernel", CrackKernelName(kernel))
+          .Set("rows", n)
+          .Set("seconds", secs)
+          .Set("mrows_per_s", mrows);
+      table->AddRow({std::string(type_name) + (tandem ? "+rid" : ""),
+                     CrackKernelName(kernel), FormatSeconds(secs),
+                     std::to_string(static_cast<long long>(mrows)) + " Mrows/s"});
+      if (!tandem) {
+        if (kernel == CrackKernel::kBranchy && branchy_out != nullptr) {
+          *branchy_out = mrows;
+        }
+        if (kernel == CrackKernel::kPredicated && predicated_out != nullptr) {
+          *predicated_out = mrows;
+        }
+      }
+    }
+  }
+}
+
+void RawCrackInThreeSection(std::size_t n, bench::JsonReport* json,
+                            TablePrinter* table) {
+  const std::uint64_t domain = 1u << 20;
+  const auto base = UniformValues<std::int64_t>(n, domain, 11);
+  const Cut<std::int64_t> lo{static_cast<std::int64_t>(domain / 3), CutKind::kLess};
+  const Cut<std::int64_t> hi{static_cast<std::int64_t>(2 * domain / 3),
+                             CutKind::kLessEq};
+  for (const CrackKernel kernel : kKernels) {
+    const double secs = BestOfThree<std::int64_t>(
+        base, [&](std::span<std::int64_t> work) {
+          CrackInThree<std::int64_t>(work, {}, lo, hi, kernel);
+        });
+    const double mrows = MRowsPerSec(n, secs);
+    json->AddRow("crack_in_three")
+        .Set("type", "int64")
+        .Set("kernel", CrackKernelName(kernel))
+        .Set("rows", n)
+        .Set("seconds", secs)
+        .Set("mrows_per_s", mrows);
+    table->AddRow({"int64 3-way", CrackKernelName(kernel), FormatSeconds(secs),
+                   std::to_string(static_cast<long long>(mrows)) + " Mrows/s"});
+  }
+}
+
+void PieceSweepSection(std::size_t total, bench::JsonReport* json,
+                       TablePrinter* table) {
+  const std::uint64_t domain = 1u << 20;
+  const auto base = UniformValues<std::int64_t>(total, domain, 13);
+  const Cut<std::int64_t> cut{static_cast<std::int64_t>(domain / 2), CutKind::kLess};
+  for (const std::size_t piece :
+       {std::size_t{64}, std::size_t{256}, std::size_t{1} << 12,
+        std::size_t{1} << 16, std::size_t{1} << 20}) {
+    if (piece > total) continue;
+    const std::size_t pieces = total / piece;
+    std::vector<std::string> row_cells{("piece " + std::to_string(piece))};
+    for (const CrackKernel kernel : kKernels) {
+      const double secs =
+          BestOfThree<std::int64_t>(base, [&](std::span<std::int64_t> work) {
+            for (std::size_t p = 0; p < pieces; ++p) {
+              CrackInTwo<std::int64_t>(work.subspan(p * piece, piece), {}, cut,
+                                       kernel);
+            }
+          });
+      const double mrows = MRowsPerSec(pieces * piece, secs);
+      json->AddRow("piece_sweep")
+          .Set("piece_size", piece)
+          .Set("kernel", CrackKernelName(kernel))
+          .Set("rows", pieces * piece)
+          .Set("seconds", secs)
+          .Set("mrows_per_s", mrows);
+      row_cells.push_back(std::to_string(static_cast<long long>(mrows)));
+    }
+    table->AddRow(row_cells);
+  }
+}
+
+void ConvergenceSection(bench::JsonReport* json, TablePrinter* table) {
+  const std::size_t n = bench::ColumnSize();
+  const std::size_t q = bench::NumQueries();
+  const auto data = GenerateData({.n = n, .domain = static_cast<std::int64_t>(n),
+                                  .distribution = DataDistribution::kUniform,
+                                  .seed = 7});
+  const auto queries = GenerateQueries({.pattern = QueryPattern::kRandom,
+                                        .num_queries = q,
+                                        .domain = static_cast<std::int64_t>(n),
+                                        .selectivity = 0.001,
+                                        .seed = 13});
+  for (const bool stochastic : {false, true}) {
+    for (const CrackKernel kernel : kKernels) {
+      StrategyConfig config = stochastic ? StrategyConfig::StochasticCrack()
+                                         : StrategyConfig::Crack();
+      config.crack_kernel = kernel;
+      const RunResult run = RunWorkload(data, config, queries, "random");
+      json->AddRow("convergence")
+          .Set("strategy", stochastic ? "stochastic" : "crack")
+          .Set("kernel", CrackKernelName(kernel))
+          .Set("rows", n)
+          .Set("queries", q)
+          .Set("total_seconds", run.total_seconds())
+          .Set("first_query_seconds", run.first_query_seconds())
+          .Set("tail_mean_seconds", run.tail_mean(100));
+      table->AddRow({run.strategy, CrackKernelName(kernel),
+                     FormatSeconds(run.total_seconds()),
+                     FormatSeconds(run.tail_mean(100))});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReport json("e12_crack_kernels", argc, argv);
+  bench::PrintHeader("E12 crack kernels: branchy vs predicated vs unrolled",
+                     "DaMoN'14 predication argument over the EDBT'12 kernels");
+  const std::size_t raw_n = RawKernelRows();
+  std::cout << "raw kernels: " << raw_n << " uniform values; convergence: "
+            << bench::ColumnSize() << " values x " << bench::NumQueries()
+            << " queries\n\n";
+
+  double branchy_i32 = 0;
+  double predicated_i32 = 0;
+
+  std::cout << "raw crack-in-two throughput:\n";
+  TablePrinter raw({"input", "kernel", "time", "throughput"});
+  RawCrackInTwoSection<std::int32_t>("int32", raw_n, &json, &raw, &branchy_i32,
+                                     &predicated_i32);
+  RawCrackInTwoSection<std::int64_t>("int64", raw_n, &json, &raw, nullptr, nullptr);
+  RawCrackInTwoSection<double>("float64", raw_n, &json, &raw, nullptr, nullptr);
+  RawCrackInThreeSection(raw_n, &json, &raw);
+  raw.Print(std::cout);
+
+  std::cout << "\npiece-size sweep (Mrows/s: branchy | predicated | unrolled):\n";
+  TablePrinter sweep({"piece", "branchy", "predicated", "unrolled"});
+  PieceSweepSection(std::min(raw_n, std::size_t{1} << 22), &json, &sweep);
+  sweep.Print(std::cout);
+
+  std::cout << "\nfull-workload convergence:\n";
+  TablePrinter conv({"strategy", "kernel", "total", "tail mean"});
+  ConvergenceSection(&json, &conv);
+  conv.Print(std::cout);
+
+  // Headline acceptance metric: predicated vs branchy, uniform int32.
+  const double speedup =
+      branchy_i32 > 0 ? predicated_i32 / branchy_i32 : 0;
+  const bool wins = speedup > 1.0;
+  std::string note;
+  if (wins) {
+    note = "predicated beats branchy on uniform-random int32 at this scale";
+  } else {
+    note = "predicated did NOT beat branchy on this hardware at this scale: "
+           "likely causes are a branch predictor absorbing the 50/50 pattern "
+           "(unlikely on random data), a memory-bandwidth-bound machine where "
+           "predication's extra load per element erases its mispredict win, "
+           "or a reduced-scale run (AIDX_N set low) where fixed costs "
+           "dominate; rerun at >= 10M rows before reading this as a kernel "
+           "regression";
+  }
+  json.AddRow("headline")
+      .Set("type", "int32")
+      .Set("rows", raw_n)
+      .Set("branchy_mrows_per_s", branchy_i32)
+      .Set("predicated_mrows_per_s", predicated_i32)
+      .Set("speedup", speedup)
+      .Set("predicated_beats_branchy", wins)
+      .Set("note", note);
+  std::cout << "\nheadline: predicated/branchy speedup on int32 = " << speedup
+            << (wins ? " (predicated wins)" : " — see note in JSON output")
+            << "\n";
+
+  json.Write();
+  return 0;
+}

@@ -18,7 +18,8 @@
 
 using namespace aidx;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json("e1_crack_vs_scan_vs_sort", argc, argv);
   bench::PrintHeader("E1 crack vs scan vs full index",
                      "tutorial §2 'Selection Cracking' / CIDR'07 response-time figure");
   const std::size_t n = bench::ColumnSize();
@@ -57,7 +58,15 @@ int main() {
     summary.AddRow({run.strategy, FormatSeconds(run.first_query_seconds()),
                     FormatSeconds(run.tail_mean(100)),
                     FormatSeconds(run.total_seconds())});
+    json.AddRow("summary")
+        .Set("strategy", run.strategy)
+        .Set("rows", n)
+        .Set("queries", q)
+        .Set("first_query_seconds", run.first_query_seconds())
+        .Set("tail_mean_seconds", run.tail_mean(100))
+        .Set("total_seconds", run.total_seconds());
   }
   summary.Print(std::cout);
+  json.Write();
   return 0;
 }

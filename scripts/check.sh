@@ -12,6 +12,12 @@
 # AddressSanitizer + UndefinedBehaviorSanitizer (separate build-asan/
 # tree) — ripple merges, delta buffers, and segment appends are exactly
 # where memory bugs hide. Also a CI job.
+#
+# scripts/check.sh --bench-smoke builds bench_e12_crack_kernels and runs
+# it at reduced scale with --json, validating the emitted
+# BENCH_e12_crack_kernels.json (build/bench-artifacts/). CI runs this on
+# every push and uploads the JSON as an artifact — the repo's recorded
+# perf trajectory. Scale overrides: AIDX_N / AIDX_Q as usual.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,6 +46,23 @@ if [[ "${1:-}" == "--asan" ]]; then
     "$@"
   cmake --build build-asan -j "$(nproc)"
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+  shift
+  cmake -B build -S . "$@"
+  cmake --build build -j "$(nproc)" --target bench_e12_crack_kernels
+  mkdir -p build/bench-artifacts
+  AIDX_N="${AIDX_N:-200000}" AIDX_Q="${AIDX_Q:-128}" AIDX_CSV_DIR="" \
+    AIDX_JSON_DIR=build/bench-artifacts \
+    ./build/bench_e12_crack_kernels --json
+  test -s build/bench-artifacts/BENCH_e12_crack_kernels.json
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool build/bench-artifacts/BENCH_e12_crack_kernels.json \
+      > /dev/null
+    echo "bench-smoke: BENCH_e12_crack_kernels.json is valid JSON"
+  fi
   exit 0
 fi
 

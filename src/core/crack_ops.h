@@ -8,8 +8,50 @@
 // cracker maps of sideways cracking (where the projected attribute travels
 // with the selection attribute -- the self-organizing tuple reconstruction
 // idea of SIGMOD 2009).
+//
+// ## Kernels
+//
+// Every strategy in this repo bottoms out in these partitioning loops, so
+// their inner-loop shape *is* the system's hot path. Three interchangeable
+// kernels implement the same multiset-partition contract (identical split
+// points; element order within a side is unspecified, as everywhere in a
+// cracked column):
+//
+//   kBranchy            The classic Hoare two-pointer sweep. Minimal
+//                       instruction count, but every comparison is a
+//                       data-dependent branch — on random data the branch
+//                       predictor is wrong ~50% of the time, and the
+//                       mispredict penalty dominates (Pirk et al., DaMoN
+//                       2014, "Database cracking: fancy scan, not poor
+//                       man's sort!").
+//
+//   kPredicated         Branch-free "hole passing": one value rides in a
+//                       register, each step writes it to the side chosen by
+//                       the comparison *result* (cursor arithmetic /
+//                       cmov-style selects, no control dependency) and
+//                       refills the register from the slot it opened.
+//                       Exactly one store and two loads per element,
+//                       tandem-payload capable, zero mispredicts.
+//
+//   kPredicatedUnrolled The same idea restructured around fixed-size
+//                       blocks (BlockQuicksort-style): a tight, manually
+//                       unrolled compare loop classifies a 64-element block
+//                       into a flag buffer (the loop autovectorizes — no
+//                       stores depend on the comparisons), a branch-free
+//                       compaction turns flags into misplaced-element
+//                       offsets, and misplaced pairs are swapped wholesale.
+//                       Best throughput on large pieces; highest fixed cost.
+//
+// Dispatch is piece-size aware: below kPredicationMinPiece values the
+// branchy sweep wins (predication's fixed per-element cost and the blocked
+// kernel's setup lose to a handful of cheap, mostly-predictable branches),
+// so the non-branchy kernels silently fall back on tiny pieces. bench_e12
+// measures the crossover.
 #pragma once
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <span>
 #include <utility>
 
@@ -19,30 +61,45 @@
 
 namespace aidx {
 
-/// Partitions `values` (and `row_ids` in tandem when non-empty) around `cut`.
-///
-/// Returns the split point m such that Below(cut) holds exactly for
-/// [0, m) and fails for [m, n). Hoare-style two-pointer pass: O(n) with at
-/// most n/2 swaps; no allocation.
-template <ColumnValue T, typename Payload = row_id_t>
-std::size_t CrackInTwo(std::span<T> values, std::span<Payload> row_ids,
-                       const Cut<T>& cut) {
-  AIDX_DCHECK(row_ids.empty() || row_ids.size() == values.size());
-  const bool tandem = !row_ids.empty();
-  std::size_t l = 0;
-  std::size_t r = values.size();
-  for (;;) {
-    while (l < r && cut.Below(values[l])) ++l;
-    while (l < r && !cut.Below(values[r - 1])) --r;
-    if (l >= r) break;
-    // values[l] is not-below and values[r-1] is below; l < r - 1 here.
-    std::swap(values[l], values[r - 1]);
-    if (tandem) std::swap(row_ids[l], row_ids[r - 1]);
-    ++l;
-    --r;
+/// Inner-loop implementation used by the crack primitives. One knob flips
+/// it for every strategy (StrategyConfig::crack_kernel).
+enum class CrackKernel : char {
+  kBranchy,             // Hoare sweep, data-dependent branches (the classic)
+  kPredicated,          // branch-free hole passing, cmov-style selects
+  kPredicatedUnrolled,  // blocked + unrolled, autovectorizable compare loop
+};
+
+inline const char* CrackKernelName(CrackKernel kernel) {
+  switch (kernel) {
+    case CrackKernel::kBranchy:
+      return "branchy";
+    case CrackKernel::kPredicated:
+      return "predicated";
+    case CrackKernel::kPredicatedUnrolled:
+      return "unrolled";
   }
-  return l;
+  return "?";
 }
+
+/// Display suffix for strategy names ("" / "+pred" / "+vec"); comma-free so
+/// names land unquoted in CSV headers.
+inline const char* CrackKernelSuffix(CrackKernel kernel) {
+  switch (kernel) {
+    case CrackKernel::kBranchy:
+      return "";
+    case CrackKernel::kPredicated:
+      return "+pred";
+    case CrackKernel::kPredicatedUnrolled:
+      return "+vec";
+  }
+  return "?";
+}
+
+/// Pieces smaller than this are always cracked with the branchy kernel:
+/// below ~a hundred values the mispredict tax is small and predication's
+/// extra loads/stores (and the blocked kernel's setup) cost more than they
+/// save. Value chosen from the bench_e12 piece-size sweep.
+inline constexpr std::size_t kPredicationMinPiece = 128;
 
 /// Result of a three-way crack: [0, lower_end) | [lower_end, middle_end) |
 /// [middle_end, n).
@@ -51,17 +108,293 @@ struct ThreeWaySplit {
   std::size_t middle_end = 0;
 };
 
-/// Partitions into three regions in one pass (Dutch-national-flag sweep):
+namespace internal {
+
+/// Loop-invariant "belongs strictly below the cut" predicate with the cut
+/// kind hoisted to a template parameter, so the kernels' inner loops see a
+/// single bare comparison instead of a branch on the kind.
+template <ColumnValue T, CutKind kKind>
+struct BelowPivot {
+  T pivot;
+  bool operator()(T v) const {
+    if constexpr (kKind == CutKind::kLess) {
+      return v < pivot;
+    } else {
+      return v <= pivot;
+    }
+  }
+};
+
+/// Unsigned integer with the same width as T, for mask-based selects.
+template <std::size_t kBytes>
+struct SizedUint;
+template <>
+struct SizedUint<1> { using type = std::uint8_t; };
+template <>
+struct SizedUint<2> { using type = std::uint16_t; };
+template <>
+struct SizedUint<4> { using type = std::uint32_t; };
+template <>
+struct SizedUint<8> { using type = std::uint64_t; };
+
+/// cond ? if_true : if_false computed with mask arithmetic — compilers
+/// happily turn a ternary whose arms differ in memory behaviour back into
+/// a branch (defeating the whole point of predication), so the select is
+/// spelled in a form that has no branch to recover.
+template <typename T>
+T BranchlessSelect(bool cond, T if_true, T if_false) {
+  using U = typename SizedUint<sizeof(T)>::type;
+  const U mask = static_cast<U>(0) - static_cast<U>(cond);
+  return std::bit_cast<T>(static_cast<U>(
+      (std::bit_cast<U>(if_true) & mask) | (std::bit_cast<U>(if_false) & ~mask)));
+}
+
+/// The classic branchy Hoare sweep: O(n) with at most n/2 swaps.
+template <bool kTandem, ColumnValue T, typename Payload, typename BelowFn>
+std::size_t CrackInTwoBranchyImpl(T* values, Payload* payloads, std::size_t n,
+                                  BelowFn below) {
+  std::size_t l = 0;
+  std::size_t r = n;
+  for (;;) {
+    while (l < r && below(values[l])) ++l;
+    while (l < r && !below(values[r - 1])) --r;
+    if (l >= r) break;
+    // values[l] is not-below and values[r-1] is below; l < r - 1 here.
+    std::swap(values[l], values[r - 1]);
+    if constexpr (kTandem) std::swap(payloads[l], payloads[r - 1]);
+    ++l;
+    --r;
+  }
+  return l;
+}
+
+/// Branch-free hole passing. Invariant at the loop head: [0, l) is below,
+/// [r, n) is not-below, values[l] is a hole (its content is junk), and the
+/// register value v is the one outstanding element awaiting placement; the
+/// active window holds r - l elements (v plus values[l+1, r)). Each step
+/// places v on the side its comparison selects and refills the register
+/// from the end that shrank.
+///
+/// Two deliberate shapes keep this fast:
+///  * selects are spelled as mask arithmetic (BranchlessSelect), because a
+///    plain ternary whose arms differ in memory behaviour gets if-converted
+///    back into a branch — re-creating the mispredicts predication exists
+///    to remove;
+///  * both refill candidates (values[l+1] / values[r-1]) are loaded at
+///    addresses known from the *previous* iteration, so the loads issue
+///    ahead of the comparison and stay off the loop's serial dependency
+///    chain; only the one-cycle select consumes the comparison result.
+template <bool kTandem, ColumnValue T, typename Payload, typename BelowFn>
+std::size_t CrackInTwoPredicatedImpl(T* values, Payload* payloads, std::size_t n,
+                                     BelowFn below) {
+  if (n == 0) return 0;
+  std::size_t l = 0;
+  std::size_t r = n;
+  T v = values[0];
+  Payload pv{};
+  if constexpr (kTandem) pv = payloads[0];
+  while (r - l > 1) {
+    // Refill candidates for both outcomes; r - l > 1 keeps both in the
+    // window (they coincide when exactly two elements remain). On the
+    // below side the candidate slot becomes the new hole; on the other
+    // side it is the slot v is about to overwrite, read before the store.
+    const T cand_left = values[l + 1];
+    const T cand_right = values[r - 1];
+    const std::size_t is_below = static_cast<std::size_t>(below(v));
+    // dst = is_below ? l : r - 1, as pure mask arithmetic (is_below - 1 is
+    // 0 or all-ones).
+    const std::size_t dst = l + ((r - 1 - l) & (is_below - 1));
+    values[dst] = v;
+    v = BranchlessSelect(is_below != 0, cand_left, cand_right);
+    if constexpr (kTandem) {
+      const Payload pcand_left = payloads[l + 1];
+      const Payload pcand_right = payloads[r - 1];
+      payloads[dst] = pv;
+      pv = BranchlessSelect(is_below != 0, pcand_left, pcand_right);
+    }
+    l += is_below;
+    r -= is_below ^ 1;
+  }
+  values[l] = v;
+  if constexpr (kTandem) payloads[l] = pv;
+  return l + (below(v) ? 1 : 0);
+}
+
+/// Values per block of the unrolled kernel; offsets must fit in uint8_t.
+inline constexpr std::size_t kCrackBlock = 64;
+
+/// Classifies `block[0, kCrackBlock)` through `below`, recording the
+/// offsets where `misplaced` holds (below == !kWantBelow). The compare
+/// loop writes flags only — no store depends on a comparison — so it
+/// autovectorizes; the compaction is branch-free and manually unrolled.
+/// Returns the number of offsets recorded.
+template <bool kWantBelow, ColumnValue T, typename BelowFn>
+std::size_t ClassifyBlock(const T* block, BelowFn below, std::uint8_t* offsets) {
+  std::uint8_t misplaced[kCrackBlock];
+  for (std::size_t i = 0; i < kCrackBlock; i += 8) {
+    misplaced[i] = below(block[i]) != kWantBelow;
+    misplaced[i + 1] = below(block[i + 1]) != kWantBelow;
+    misplaced[i + 2] = below(block[i + 2]) != kWantBelow;
+    misplaced[i + 3] = below(block[i + 3]) != kWantBelow;
+    misplaced[i + 4] = below(block[i + 4]) != kWantBelow;
+    misplaced[i + 5] = below(block[i + 5]) != kWantBelow;
+    misplaced[i + 6] = below(block[i + 6]) != kWantBelow;
+    misplaced[i + 7] = below(block[i + 7]) != kWantBelow;
+  }
+  std::size_t num = 0;
+  for (std::size_t i = 0; i < kCrackBlock; i += 4) {
+    offsets[num] = static_cast<std::uint8_t>(i);
+    num += misplaced[i];
+    offsets[num] = static_cast<std::uint8_t>(i + 1);
+    num += misplaced[i + 1];
+    offsets[num] = static_cast<std::uint8_t>(i + 2);
+    num += misplaced[i + 2];
+    offsets[num] = static_cast<std::uint8_t>(i + 3);
+    num += misplaced[i + 3];
+  }
+  return num;
+}
+
+/// Blocked branch-free partition (the BlockQuicksort scheme): classify one
+/// 64-value block per side, swap the misplaced pairs wholesale, retire
+/// whichever block came out clean. The remainder (< 2 blocks, plus at most
+/// one partially consumed block whose classification we discard — cheaper
+/// to rescan than to splice) finishes with the scalar predicated kernel.
+template <bool kTandem, ColumnValue T, typename Payload, typename BelowFn>
+std::size_t CrackInTwoUnrolledImpl(T* values, Payload* payloads, std::size_t n,
+                                   BelowFn below) {
+  constexpr std::size_t kBlock = kCrackBlock;
+  std::size_t l = 0;
+  std::size_t r = n;
+  std::uint8_t offsets_l[kBlock];
+  std::uint8_t offsets_r[kBlock];
+  std::size_t num_l = 0, num_r = 0;    // offsets still unconsumed per side
+  std::size_t start_l = 0, start_r = 0;  // first unconsumed offset per side
+  while (r - l >= 2 * kBlock) {
+    if (num_l == 0) {
+      start_l = 0;
+      num_l = ClassifyBlock</*kWantBelow=*/true>(values + l, below, offsets_l);
+    }
+    if (num_r == 0) {
+      start_r = 0;
+      // The right block is values[r - kBlock, r); record offsets from its
+      // high end so `r - 1 - offset` addresses the element.
+      std::uint8_t raw[kBlock];
+      const std::size_t count =
+          ClassifyBlock</*kWantBelow=*/false>(values + (r - kBlock), below, raw);
+      for (std::size_t j = 0; j < count; ++j) {
+        offsets_r[j] = static_cast<std::uint8_t>(kBlock - 1 - raw[count - 1 - j]);
+      }
+      num_r = count;
+    }
+    const std::size_t num = std::min(num_l, num_r);
+    for (std::size_t j = 0; j < num; ++j) {
+      const std::size_t a = l + offsets_l[start_l + j];
+      const std::size_t b = r - 1 - offsets_r[start_r + j];
+      std::swap(values[a], values[b]);
+      if constexpr (kTandem) std::swap(payloads[a], payloads[b]);
+    }
+    num_l -= num;
+    num_r -= num;
+    start_l += num;
+    start_r += num;
+    if (num_l == 0) l += kBlock;
+    if (num_r == 0) r -= kBlock;
+  }
+  // Scalar tail over [l, r): correct regardless of any discarded partial
+  // classification, since the window's content is a valid sub-multiset.
+  Payload* tail_payloads = nullptr;
+  if constexpr (kTandem) tail_payloads = payloads + l;
+  return l + CrackInTwoPredicatedImpl<kTandem>(values + l, tail_payloads, r - l,
+                                               below);
+}
+
+/// Picks the implementation for one (kernel, tandem) combination. The cut
+/// kind is already baked into `below`.
+template <ColumnValue T, typename Payload, typename BelowFn>
+std::size_t CrackInTwoWithBelow(std::span<T> values, std::span<Payload> payloads,
+                                BelowFn below, CrackKernel kernel) {
+  T* v = values.data();
+  const std::size_t n = values.size();
+  if (kernel == CrackKernel::kBranchy || n < kPredicationMinPiece) {
+    return payloads.empty()
+               ? CrackInTwoBranchyImpl<false>(v, static_cast<Payload*>(nullptr), n,
+                                              below)
+               : CrackInTwoBranchyImpl<true>(v, payloads.data(), n, below);
+  }
+  if (kernel == CrackKernel::kPredicated) {
+    return payloads.empty()
+               ? CrackInTwoPredicatedImpl<false>(v, static_cast<Payload*>(nullptr),
+                                                 n, below)
+               : CrackInTwoPredicatedImpl<true>(v, payloads.data(), n, below);
+  }
+  return payloads.empty()
+             ? CrackInTwoUnrolledImpl<false>(v, static_cast<Payload*>(nullptr), n,
+                                             below)
+             : CrackInTwoUnrolledImpl<true>(v, payloads.data(), n, below);
+}
+
+}  // namespace internal
+
+/// Partitions `values` (and `row_ids` in tandem when non-empty) around `cut`
+/// using `kernel` (see the kernel table in the file comment; piece-size
+/// dispatch falls back to branchy below kPredicationMinPiece).
+///
+/// Returns the split point m such that Below(cut) holds exactly for
+/// [0, m) and fails for [m, n). O(n), no allocation. All kernels preserve
+/// the multiset and produce the same m; the order *within* each side is
+/// kernel-specific (callers never rely on it — pieces are unordered).
+template <ColumnValue T, typename Payload = row_id_t>
+std::size_t CrackInTwo(std::span<T> values, std::span<Payload> row_ids,
+                       const Cut<T>& cut,
+                       CrackKernel kernel = CrackKernel::kBranchy) {
+  AIDX_DCHECK(row_ids.empty() || row_ids.size() == values.size());
+  if (cut.kind == CutKind::kLess) {
+    return internal::CrackInTwoWithBelow(
+        values, row_ids, internal::BelowPivot<T, CutKind::kLess>{cut.value},
+        kernel);
+  }
+  return internal::CrackInTwoWithBelow(
+      values, row_ids, internal::BelowPivot<T, CutKind::kLessEq>{cut.value},
+      kernel);
+}
+
+/// Element visits a CrackInThree over n values performs: the branchy DNF
+/// sweep visits each element once; the non-branchy two-pass decomposition
+/// revisits the upper remainder (n - lower_end). Callers use this to keep
+/// the values_touched statistic honest across kernels.
+inline std::size_t CrackInThreeValuesTouched(std::size_t n, std::size_t lower_end,
+                                             CrackKernel kernel) {
+  if (kernel == CrackKernel::kBranchy || n < kPredicationMinPiece) return n;
+  return n + (n - lower_end);
+}
+
+/// Partitions into three regions (kernel-selectable):
 ///   region A: Below(lo_cut)
 ///   region B: !Below(lo_cut) && Below(hi_cut)   — the qualifying middle
 ///   region C: !Below(hi_cut)
 ///
-/// Requires lo_cut <= hi_cut (so A and C cannot overlap).
+/// Requires lo_cut <= hi_cut (so A and C cannot overlap). The branchy
+/// kernel is the classic one-pass Dutch-national-flag sweep; the predicated
+/// kernels decompose into two branch-free crack-in-twos (first on lo_cut,
+/// then on the upper remainder with hi_cut) — more element moves, but no
+/// mispredicts; bench_e12 measures where each wins.
 template <ColumnValue T, typename Payload = row_id_t>
 ThreeWaySplit CrackInThree(std::span<T> values, std::span<Payload> row_ids,
-                           const Cut<T>& lo_cut, const Cut<T>& hi_cut) {
+                           const Cut<T>& lo_cut, const Cut<T>& hi_cut,
+                           CrackKernel kernel = CrackKernel::kBranchy) {
   AIDX_DCHECK(!(hi_cut < lo_cut));
   AIDX_DCHECK(row_ids.empty() || row_ids.size() == values.size());
+  if (kernel != CrackKernel::kBranchy &&
+      values.size() >= kPredicationMinPiece) {
+    const std::size_t lower = CrackInTwo<T, Payload>(values, row_ids, lo_cut, kernel);
+    const std::size_t middle =
+        lower + CrackInTwo<T, Payload>(
+                    values.subspan(lower),
+                    row_ids.empty() ? row_ids : row_ids.subspan(lower), hi_cut,
+                    kernel);
+    return {lower, middle};
+  }
   const bool tandem = !row_ids.empty();
   std::size_t a = 0;                // next slot of region A
   std::size_t m = 0;                // cursor

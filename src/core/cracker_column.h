@@ -43,6 +43,9 @@ struct CrackerColumnOptions {
   /// first split it at a data-driven random pivot. 0 disables.
   std::size_t stochastic_threshold = 0;
   std::uint64_t stochastic_seed = 0x5DEECE66DULL;
+  /// Partitioning kernel used by every crack this column performs (see
+  /// core/crack_ops.h; tiny pieces always fall back to the branchy sweep).
+  CrackKernel kernel = CrackKernel::kBranchy;
 };
 
 /// Result of a cracked select. `core` positions all qualify; `edges` (at
@@ -308,7 +311,8 @@ class CrackerColumn {
 
     const std::size_t split =
         piece.begin + CrackInTwo<T>(MutableValuesIn({piece.begin, piece.end}),
-                                    MutableRowIdsIn({piece.begin, piece.end}), cut);
+                                    MutableRowIdsIn({piece.begin, piece.end}), cut,
+                                    options_.kernel);
     ++stats_.num_crack_in_two;
     stats_.values_touched += piece.end - piece.begin;
     index_.AddCut(cut, split);
@@ -326,9 +330,11 @@ class CrackerColumn {
     }
     const ThreeWaySplit split =
         CrackInThree<T>(MutableValuesIn({piece.begin, piece.end}),
-                        MutableRowIdsIn({piece.begin, piece.end}), lo_cut, hi_cut);
+                        MutableRowIdsIn({piece.begin, piece.end}), lo_cut, hi_cut,
+                        options_.kernel);
     ++stats_.num_crack_in_three;
-    stats_.values_touched += piece.end - piece.begin;
+    stats_.values_touched += CrackInThreeValuesTouched(
+        piece.end - piece.begin, split.lower_end, options_.kernel);
     const std::size_t lower_pos = piece.begin + split.lower_end;
     const std::size_t upper_pos = piece.begin + split.middle_end;
     index_.AddCut(lo_cut, lower_pos);
@@ -349,7 +355,8 @@ class CrackerColumn {
       if (index_.Lookup(random_cut).exact || random_cut == target) break;
       const std::size_t split = piece->begin +
           CrackInTwo<T>(MutableValuesIn({piece->begin, piece->end}),
-                        MutableRowIdsIn({piece->begin, piece->end}), random_cut);
+                        MutableRowIdsIn({piece->begin, piece->end}), random_cut,
+                        options_.kernel);
       ++stats_.num_stochastic_cracks;
       stats_.values_touched += span_size;
       index_.AddCut(random_cut, split);

@@ -77,6 +77,8 @@ class HybridIndex {
     OrganizeMode final_mode = OrganizeMode::kCrack;
     int radix_bits = 6;
     bool with_row_ids = true;
+    /// Crack kernel applied by every cracked segment (core/crack_ops.h).
+    CrackKernel kernel = CrackKernel::kBranchy;
   };
 
   /// "HCC", "HCS", ... — the paper's naming for a policy pair.
@@ -105,7 +107,8 @@ class HybridIndex {
           SegmentOrganizer<T>(std::move(values), std::move(rids),
                               {.mode = options_.initial_mode,
                                .radix_bits = options_.radix_bits,
-                               .with_row_ids = options_.with_row_ids}),
+                               .with_row_ids = options_.with_row_ids,
+                               .kernel = options_.kernel}),
           n});
     }
   }
@@ -288,7 +291,8 @@ class HybridIndex {
         SegmentOrganizer<T>(std::move(fresh_values), std::move(fresh_rids),
                             {.mode = options_.initial_mode,
                              .radix_bits = options_.radix_bits,
-                             .with_row_ids = options_.with_row_ids}),
+                             .with_row_ids = options_.with_row_ids,
+                             .kernel = options_.kernel}),
         n});
   }
 
@@ -323,7 +327,8 @@ class HybridIndex {
                            SegmentOrganizer<T>(std::move(values), std::move(rids),
                                                {.mode = options_.final_mode,
                                                 .radix_bits = options_.radix_bits,
-                                                .with_row_ids = options_.with_row_ids}),
+                                                .with_row_ids = options_.with_row_ids,
+                                                .kernel = options_.kernel}),
                            bounds});
     ++stats_.final_segments;
   }
@@ -362,7 +367,8 @@ class HybridIndex {
       FinalSegment seg{SegmentOrganizer<T>(std::move(staging), std::move(staging_rids),
                                            {.mode = options_.final_mode,
                                             .radix_bits = options_.radix_bits,
-                                            .with_row_ids = options_.with_row_ids}),
+                                            .with_row_ids = options_.with_row_ids,
+                                            .kernel = options_.kernel}),
                        gap};
       // Eager policies (sort/radix) pay their organization cost at merge
       // time — the "what's merged gets organized" half of the hybrid idea.

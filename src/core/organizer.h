@@ -42,6 +42,9 @@ class SegmentOrganizer {
     OrganizeMode mode = OrganizeMode::kCrack;
     int radix_bits = 6;
     bool with_row_ids = true;
+    /// Crack kernel for the lazily organized policies (kCrack / kRadix's
+    /// intra-cluster cracks); kSort never cracks.
+    CrackKernel kernel = CrackKernel::kBranchy;
   };
 
   /// Adopts the segment's arrays. `row_ids` may be empty when
@@ -50,7 +53,8 @@ class SegmentOrganizer {
                    Options options)
       : options_(options),
         crack_(std::move(values), std::move(row_ids),
-               CrackerColumnOptions{.with_row_ids = options.with_row_ids}) {}
+               CrackerColumnOptions{.with_row_ids = options.with_row_ids,
+                                    .kernel = options.kernel}) {}
 
   AIDX_DEFAULT_MOVE_ONLY(SegmentOrganizer);
 

@@ -78,6 +78,10 @@ struct StrategyConfig {
   std::size_t gradual_budget = 64;
   // Carry row ids (needed only when results must project other columns).
   bool with_row_ids = false;
+  // Partitioning kernel for every crack the strategy performs (crack /
+  // stochastic / hybrid / parallel-crack; core/crack_ops.h). One switch
+  // flips the innermost loops under all cracked structures.
+  CrackKernel crack_kernel = CrackKernel::kBranchy;
 
   /// Structural equality over every knob — the Database path cache keys on
   /// this, so two configs collide only when they are truly identical.
@@ -108,7 +112,19 @@ struct StrategyConfig {
   }
 
   /// Short display name used in figures and reports ("crack", "HCS", ...).
+  /// Kernel-variant strategies carry a "+pred"/"+vec" suffix so figures —
+  /// and anything keyed on the name — can never alias kernel variants
+  /// (the Database cache keys on the full config regardless).
   std::string DisplayName() const {
+    // Non-branchy kernels change the physical behaviour of every strategy
+    // that cracks; the pure offline/scan strategies never do, and neither
+    // does a sort-only hybrid (HSS) — its segments never invoke a kernel.
+    const bool cracks =
+        kind == StrategyKind::kCrack || kind == StrategyKind::kStochasticCrack ||
+        kind == StrategyKind::kParallelCrack ||
+        (kind == StrategyKind::kHybrid && (hybrid_initial != OrganizeMode::kSort ||
+                                           hybrid_final != OrganizeMode::kSort));
+    const std::string kernel_suffix = cracks ? CrackKernelSuffix(crack_kernel) : "";
     switch (kind) {
       case StrategyKind::kFullScan:
         return "scan";
@@ -117,15 +133,16 @@ struct StrategyConfig {
       case StrategyKind::kBPlusTree:
         return "btree";
       case StrategyKind::kCrack:
-        return min_piece_size > 0 ? "crack(p" + std::to_string(min_piece_size) + ")"
-                                  : "crack";
+        return (min_piece_size > 0 ? "crack(p" + std::to_string(min_piece_size) + ")"
+                                   : "crack") +
+               kernel_suffix;
       case StrategyKind::kStochasticCrack:
-        return "stochastic";
+        return "stochastic" + kernel_suffix;
       case StrategyKind::kAdaptiveMerge:
         return "merge";
       case StrategyKind::kHybrid:
         return std::string("H") + OrganizeModeLetter(hybrid_initial) +
-               OrganizeModeLetter(hybrid_final);
+               OrganizeModeLetter(hybrid_final) + kernel_suffix;
       case StrategyKind::kParallelCrack:
         // Shape-changing knobs stay in the name for figures and reports
         // (the Database cache keys on the full config, not this string).
@@ -134,7 +151,7 @@ struct StrategyConfig {
         return "pcrack(" + std::to_string(num_partitions) + "x" +
                std::to_string(num_threads) +
                (min_piece_size > 0 ? "-p" + std::to_string(min_piece_size) : "") +
-               ")";
+               ")" + kernel_suffix;
     }
     return "?";
   }
@@ -384,6 +401,7 @@ class CrackPath final : public AccessPath<T> {
       CrackerColumnOptions options;
       options.with_row_ids = config_.with_row_ids;
       options.min_piece_size = config_.min_piece_size;
+      options.kernel = config_.crack_kernel;
       if (config_.kind == StrategyKind::kStochasticCrack) {
         options.stochastic_threshold = config_.stochastic_threshold;
         options.stochastic_seed = config_.seed;
@@ -483,7 +501,8 @@ class HybridPath final : public AccessPath<T> {
                                 .initial_mode = config_.hybrid_initial,
                                 .final_mode = config_.hybrid_final,
                                 .radix_bits = config_.radix_bits,
-                                .with_row_ids = config_.with_row_ids});
+                                .with_row_ids = config_.with_row_ids,
+                                .kernel = config_.crack_kernel});
     }
     return *index_;
   }
@@ -516,6 +535,9 @@ class ParallelCrackPath final : public AccessPath<T> {
   void InsertBatch(std::span<const T> values) override {
     Column().InsertBatch(values);
   }
+  std::size_t DeleteBatch(std::span<const T> values) override {
+    return Column().DeleteBatch(values);
+  }
   UpdateStats update_stats() const override {
     // Forces construction when probed first (thread-safe via call_once);
     // aggregation itself latches per partition.
@@ -532,6 +554,7 @@ class ParallelCrackPath final : public AccessPath<T> {
       options.num_partitions = config_.num_partitions;
       options.column_options.with_row_ids = config_.with_row_ids;
       options.column_options.min_piece_size = config_.min_piece_size;
+      options.column_options.kernel = config_.crack_kernel;
       options.splitter_seed = config_.seed;
       options.merge_policy = config_.merge_policy;
       options.gradual_budget = config_.gradual_budget;

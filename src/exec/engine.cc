@@ -31,6 +31,7 @@ std::size_t PathKeyHash::operator()(const PathKey& key) const {
   h = HashCombine(h, static_cast<std::size_t>(c.merge_policy));
   h = HashCombine(h, c.gradual_budget);
   h = HashCombine(h, static_cast<std::size_t>(c.with_row_ids));
+  h = HashCombine(h, static_cast<std::size_t>(c.crack_kernel));
   return h;
 }
 

@@ -53,6 +53,20 @@ class BPlusTree {
   bool empty() const { return size_ == 0; }
   int height() const { return root_ == nullptr ? 0 : HeightOf(root_); }
 
+  /// Number of leaves in the chain. O(#leaves); the delete-hygiene tests
+  /// use it to assert compaction keeps density bounded.
+  std::size_t LeafCount() const {
+    if (root_ == nullptr) return 0;
+    const Node* n = root_;
+    while (!n->is_leaf) n = static_cast<const Internal*>(n)->children.front();
+    std::size_t count = 0;
+    for (const Leaf* leaf = static_cast<const Leaf*>(n); leaf != nullptr;
+         leaf = leaf->next) {
+      ++count;
+    }
+    return count;
+  }
+
   /// Inserts a single key (duplicate keys permitted).
   void Insert(T key, row_id_t rid = 0) {
     if (root_ == nullptr) {
@@ -81,38 +95,27 @@ class BPlusTree {
   }
 
   /// Removes one occurrence of `key`; returns false when the key is absent.
-  /// Leaves are not rebalanced on underflow (they may go empty but stay
-  /// chained), which keeps searches correct — separators remain valid
-  /// bounds — at the cost of density; acceptable for the delete volumes
-  /// the update pipeline produces.
+  /// A leaf drained below a quarter of its capacity is compacted with an
+  /// adjacent sibling under the same parent (merged when the combined keys
+  /// fit, rebalanced by borrowing otherwise), and thinned internal nodes
+  /// merge with a sibling the same way (SplitInternal in reverse), so
+  /// sustained deletes cannot leave chains of near-empty nodes behind; a
+  /// single-child root collapses from the top. The pass stays a single
+  /// descent — compaction happens on the way back up.
   bool EraseOne(T key) {
     if (root_ == nullptr) return false;
-    // Descend to the left-most leaf that can hold `key` (same duplicate
-    // handling as VisitRange), then sweep the chain.
-    Node* n = root_;
-    while (!n->is_leaf) {
-      auto* in = static_cast<Internal*>(n);
-      const auto it = std::upper_bound(in->seps.begin(), in->seps.end(), key);
-      std::size_t child = static_cast<std::size_t>(it - in->seps.begin());
-      while (child > 0 && in->seps[child - 1] == key) --child;
-      n = in->children[child];
+    if (!EraseRec(root_, key)) return false;
+    --size_;
+    // Collapse a root chain: an internal root with a single child carries
+    // no information.
+    while (!root_->is_leaf) {
+      auto* in = static_cast<Internal*>(root_);
+      if (in->children.size() > 1) break;
+      root_ = in->children.front();
+      in->children.clear();
+      delete in;
     }
-    auto* leaf = static_cast<Leaf*>(n);
-    while (leaf != nullptr) {
-      const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
-      if (it != leaf->keys.end()) {
-        if (*it != key) return false;  // past all duplicates: absent
-        const std::size_t at = static_cast<std::size_t>(it - leaf->keys.begin());
-        leaf->keys.erase(it);
-        if (!leaf->rids.empty()) {
-          leaf->rids.erase(leaf->rids.begin() + static_cast<std::ptrdiff_t>(at));
-        }
-        --size_;
-        return true;
-      }
-      leaf = leaf->next;
-    }
-    return false;
+    return true;
   }
 
   /// Replaces the content with a bulk-loaded tree from sorted input; the
@@ -292,6 +295,150 @@ class BPlusTree {
           in->children.begin() + static_cast<std::ptrdiff_t>(child) + 1,
           child_split.created);
       if (in->children.size() > options_.internal_fanout) SplitInternal(in, split);
+    }
+  }
+
+  /// Recursive erase. At each internal node the key can only live under
+  /// the contiguous child range [first, last] (duplicates equal to a
+  /// separator may extend into the child left of it, same rule as
+  /// VisitRange); children are tried left to right. After a child's
+  /// subtree erased the key, the touched leaf (when it is a direct child)
+  /// is compacted if it underflowed.
+  bool EraseRec(Node* n, T key) {
+    if (n->is_leaf) {
+      auto* leaf = static_cast<Leaf*>(n);
+      const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+      if (it == leaf->keys.end() || *it != key) return false;
+      const std::size_t at = static_cast<std::size_t>(it - leaf->keys.begin());
+      leaf->keys.erase(it);
+      if (!leaf->rids.empty()) {
+        leaf->rids.erase(leaf->rids.begin() + static_cast<std::ptrdiff_t>(at));
+      }
+      return true;
+    }
+    auto* in = static_cast<Internal*>(n);
+    const auto it = std::upper_bound(in->seps.begin(), in->seps.end(), key);
+    const std::size_t last = static_cast<std::size_t>(it - in->seps.begin());
+    std::size_t first = last;
+    while (first > 0 && in->seps[first - 1] == key) --first;
+    for (std::size_t c = first; c <= last; ++c) {
+      if (!EraseRec(in->children[c], key)) continue;
+      if (in->children[c]->is_leaf) {
+        CompactLeafChild(in, c);
+      } else {
+        CompactInternalChild(in, c);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  /// Leaves drained below this many keys are compacted with a sibling.
+  std::size_t LeafMinFill() const {
+    return std::max<std::size_t>(1, options_.leaf_capacity / 4);
+  }
+
+  /// Restores fill for the (possibly underflowed) leaf at `in->children[c]`
+  /// using an adjacent sibling under the same parent: merge when the
+  /// combined keys fit in one leaf, borrow to the threshold otherwise.
+  /// Adjacent same-parent siblings are adjacent in the leaf chain, so the
+  /// chain is patched locally; separators are updated to the recipient's
+  /// new minimum, preserving every bound invariant Validate() checks.
+  void CompactLeafChild(Internal* in, std::size_t c) {
+    auto* leaf = static_cast<Leaf*>(in->children[c]);
+    if (leaf->keys.size() >= LeafMinFill() || in->children.size() < 2) return;
+    // Prefer the right sibling; fall back to the left at the last slot.
+    const std::size_t left_idx = c + 1 < in->children.size() ? c : c - 1;
+    auto* left = static_cast<Leaf*>(in->children[left_idx]);
+    auto* right = static_cast<Leaf*>(in->children[left_idx + 1]);
+    const bool with_rids = !left->rids.empty() || !right->rids.empty();
+    if (left->keys.size() + right->keys.size() <= options_.leaf_capacity) {
+      // Merge `right` into `left`, drop the separator between them.
+      left->keys.insert(left->keys.end(), right->keys.begin(), right->keys.end());
+      if (with_rids) {
+        left->rids.insert(left->rids.end(), right->rids.begin(), right->rids.end());
+      }
+      left->next = right->next;
+      delete right;
+      in->children.erase(in->children.begin() +
+                         static_cast<std::ptrdiff_t>(left_idx) + 1);
+      in->seps.erase(in->seps.begin() + static_cast<std::ptrdiff_t>(left_idx));
+      return;
+    }
+    // No room to merge: borrow keys across the separator until the drained
+    // leaf reaches the threshold (the donor is above capacity/2, so it
+    // stays comfortably filled).
+    if (leaf == left) {
+      while (left->keys.size() < LeafMinFill()) {
+        left->keys.push_back(right->keys.front());
+        right->keys.erase(right->keys.begin());
+        if (with_rids) {
+          left->rids.push_back(right->rids.front());
+          right->rids.erase(right->rids.begin());
+        }
+      }
+    } else {
+      while (right->keys.size() < LeafMinFill()) {
+        right->keys.insert(right->keys.begin(), left->keys.back());
+        left->keys.pop_back();
+        if (with_rids) {
+          right->rids.insert(right->rids.begin(), left->rids.back());
+          left->rids.pop_back();
+        }
+      }
+    }
+    in->seps[left_idx] = right->keys.front();
+  }
+
+  /// Restores fill for a thinned internal child using an adjacent sibling:
+  /// merge when the combined children fit (SplitInternal in reverse — the
+  /// parent's separator between them drops down between the concatenated
+  /// separator lists), borrow children across the separator otherwise
+  /// (rotate: the parent separator drops into the recipient, the donor's
+  /// edge separator moves up). Either way every non-root internal the
+  /// delete path touches keeps >= min-children, so skewed delete streams
+  /// cannot strand a lone leaf under a one-child internal where leaf
+  /// compaction (which needs a same-parent sibling) could never reach it.
+  /// Bound invariants and uniform leaf depth are preserved throughout.
+  void CompactInternalChild(Internal* in, std::size_t c) {
+    const std::size_t min_children =
+        std::max<std::size_t>(2, options_.internal_fanout / 4);
+    auto* child = static_cast<Internal*>(in->children[c]);
+    if (child->children.size() >= min_children || in->children.size() < 2) return;
+    const std::size_t left_idx = c + 1 < in->children.size() ? c : c - 1;
+    auto* left = static_cast<Internal*>(in->children[left_idx]);
+    auto* right = static_cast<Internal*>(in->children[left_idx + 1]);
+    if (left->children.size() + right->children.size() <=
+        options_.internal_fanout) {
+      left->seps.push_back(in->seps[left_idx]);
+      left->seps.insert(left->seps.end(), right->seps.begin(), right->seps.end());
+      left->children.insert(left->children.end(), right->children.begin(),
+                            right->children.end());
+      right->children.clear();
+      delete right;
+      in->children.erase(in->children.begin() +
+                         static_cast<std::ptrdiff_t>(left_idx) + 1);
+      in->seps.erase(in->seps.begin() + static_cast<std::ptrdiff_t>(left_idx));
+      return;
+    }
+    // No room to merge: combined > fanout, so the donor holds > fanout -
+    // min_children children and stays comfortably filled after lending.
+    if (child == left) {
+      while (left->children.size() < min_children) {
+        left->children.push_back(right->children.front());
+        right->children.erase(right->children.begin());
+        left->seps.push_back(in->seps[left_idx]);
+        in->seps[left_idx] = right->seps.front();
+        right->seps.erase(right->seps.begin());
+      }
+    } else {
+      while (right->children.size() < min_children) {
+        right->children.insert(right->children.begin(), left->children.back());
+        left->children.pop_back();
+        right->seps.insert(right->seps.begin(), in->seps[left_idx]);
+        in->seps[left_idx] = left->seps.back();
+        left->seps.pop_back();
+      }
     }
   }
 

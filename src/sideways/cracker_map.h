@@ -36,8 +36,12 @@ class CrackerMap {
  public:
   /// Materializes the map from base columns (both copied). Creation cost is
   /// part of the first query that needs this map — callers create lazily.
-  CrackerMap(std::span<const T> head, std::span<const TailT> tail)
-      : head_(head.begin(), head.end()),
+  /// `kernel` selects the partitioning loops (core/crack_ops.h); the tail
+  /// rides as the tandem payload through every kernel.
+  CrackerMap(std::span<const T> head, std::span<const TailT> tail,
+             CrackKernel kernel = CrackKernel::kBranchy)
+      : kernel_(kernel),
+        head_(head.begin(), head.end()),
         tail_(tail.begin(), tail.end()),
         index_(head.size()) {
     AIDX_CHECK(head.size() == tail.size())
@@ -65,9 +69,10 @@ class CrackerMap {
         const auto& piece = lo.piece;
         const ThreeWaySplit split = CrackInThree<T, TailT>(
             HeadIn(piece.begin, piece.end), TailIn(piece.begin, piece.end),
-            cuts.lower, cuts.upper);
+            cuts.lower, cuts.upper, kernel_);
         ++stats_.num_cracks;
-        stats_.values_touched += piece.end - piece.begin;
+        stats_.values_touched += CrackInThreeValuesTouched(
+            piece.end - piece.begin, split.lower_end, kernel_);
         index_.AddCut(cuts.lower, piece.begin + split.lower_end);
         index_.AddCut(cuts.upper, piece.begin + split.middle_end);
         return {piece.begin + split.lower_end, piece.begin + split.middle_end};
@@ -117,13 +122,15 @@ class CrackerMap {
     const auto& piece = look.piece;
     const std::size_t split =
         piece.begin + CrackInTwo<T, TailT>(HeadIn(piece.begin, piece.end),
-                                           TailIn(piece.begin, piece.end), cut);
+                                           TailIn(piece.begin, piece.end), cut,
+                                           kernel_);
     ++stats_.num_cracks;
     stats_.values_touched += piece.end - piece.begin;
     index_.AddCut(cut, split);
     return split;
   }
 
+  CrackKernel kernel_ = CrackKernel::kBranchy;
   std::vector<T> head_;
   std::vector<TailT> tail_;
   CrackerIndex<T> index_;

@@ -60,6 +60,9 @@ class SidewaysCracker {
     /// When true, every registered map is realigned after every query
     /// (the eager strategy the adaptive-alignment ablation compares against).
     bool eager_alignment = false;
+    /// Crack kernel applied by every map (head and tail move in tandem, so
+    /// this exercises the kernels' payload path; core/crack_ops.h).
+    CrackKernel kernel = CrackKernel::kBranchy;
   };
 
   /// Borrows the base columns; they must outlive the cracker.
@@ -198,7 +201,8 @@ class SidewaysCracker {
     if (map_it == maps_.end()) {
       AIDX_RETURN_NOT_OK(EnsureBudgetFor(PerMapBytes(), pinned));
       MapEntry entry;
-      entry.map = std::make_unique<CrackerMap<T>>(head_, tail_it->second);
+      entry.map = std::make_unique<CrackerMap<T>>(head_, tail_it->second,
+                                                  options_.kernel);
       entry.tape_pos = 0;  // a fresh map replays the whole tape
       ++stats_.maps_created;
       map_it = maps_.emplace(name, std::move(entry)).first;

@@ -162,6 +162,121 @@ TEST(BPlusTreeTest, SumRangeMatchesManualSum) {
                    static_cast<double>(expect));
 }
 
+// Sustained deletes must compact drained leaves: after removing 90% of
+// the keys the leaf chain must be near the minimum the survivors need,
+// not the original leaf count with near-empty husks chained in between.
+TEST(BPlusTreeTest, SustainedDeletesCompactLeaves) {
+  constexpr std::size_t kLeafCap = 16;
+  BPlusTree<std::int64_t> t({.leaf_capacity = kLeafCap, .internal_fanout = 4});
+  Rng rng(17);
+  std::vector<std::int64_t> keys;
+  for (int i = 0; i < 8000; ++i) {
+    const auto k = static_cast<std::int64_t>(rng.NextBounded(100000));
+    keys.push_back(k);
+    t.Insert(k);
+  }
+  const std::size_t initial_leaves = t.LeafCount();
+  ASSERT_GE(initial_leaves, 8000u / kLeafCap);
+
+  // Random-order sustained deletes down to 10%.
+  while (keys.size() > 800) {
+    const std::size_t pick = rng.NextBounded(keys.size());
+    ASSERT_TRUE(t.EraseOne(keys[pick]));
+    keys[pick] = keys.back();
+    keys.pop_back();
+  }
+  ASSERT_EQ(t.size(), keys.size());
+  ASSERT_TRUE(t.Validate());
+  // Compaction keeps every leaf at >= capacity/4 (the fill threshold), so
+  // the chain length is bounded by size / (capacity/4), plus slack for
+  // leaves that never dipped below the threshold.
+  EXPECT_LE(t.LeafCount(), keys.size() / (kLeafCap / 4) + 2)
+      << "near-empty leaves left chained";
+  EXPECT_LT(t.LeafCount(), initial_leaves / 4);
+
+  // Queries still exact after heavy compaction.
+  std::sort(keys.begin(), keys.end());
+  for (int q = 0; q < 200; ++q) {
+    const auto lo = static_cast<std::int64_t>(rng.NextBounded(100000));
+    const Pred p = Pred::Between(lo, lo + 2000);
+    const auto want = static_cast<std::size_t>(
+        std::upper_bound(keys.begin(), keys.end(), lo + 2000) -
+        std::lower_bound(keys.begin(), keys.end(), lo));
+    ASSERT_EQ(t.CountRange(p), want) << "query " << q;
+  }
+
+  // Drain to empty: the root must collapse all the way back down.
+  for (const auto k : keys) ASSERT_TRUE(t.EraseOne(k));
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.Validate());
+  EXPECT_FALSE(t.EraseOne(1));
+  EXPECT_LE(t.height(), 1);
+}
+
+// Skewed sustained deletes: drain one key region completely while its
+// neighbours stay full. Internal borrow (not just merge) is what keeps a
+// lone leaf from being stranded under a one-child internal here — the
+// drained region's subtree must shrink away instead of surviving as a
+// chain of near-empty husks.
+TEST(BPlusTreeTest, SkewedRegionDrainCompacts) {
+  constexpr std::size_t kLeafCap = 16;
+  BPlusTree<std::int64_t> t({.leaf_capacity = kLeafCap, .internal_fanout = 4});
+  Rng rng(29);
+  std::vector<std::int64_t> keys;
+  for (int i = 0; i < 6000; ++i) {
+    const auto k = static_cast<std::int64_t>(rng.NextBounded(60000));
+    keys.push_back(k);
+    t.Insert(k);
+  }
+  // Drain [0, 45000) entirely, low keys first (maximum skew pressure on
+  // the left spine), keeping the top quarter untouched.
+  std::sort(keys.begin(), keys.end());
+  std::vector<std::int64_t> survivors;
+  for (const auto k : keys) {
+    if (k < 45000) {
+      ASSERT_TRUE(t.EraseOne(k));
+    } else {
+      survivors.push_back(k);
+    }
+  }
+  ASSERT_EQ(t.size(), survivors.size());
+  ASSERT_TRUE(t.Validate());
+  EXPECT_EQ(t.CountRange(Pred::LessThan(45000)), 0u);
+  EXPECT_EQ(t.CountRange(Pred::All()), survivors.size());
+  // Density bound must hold even though the deletes were maximally skewed.
+  EXPECT_LE(t.LeafCount(), survivors.size() / (kLeafCap / 4) + 2)
+      << "near-empty leaves stranded under thinned internals";
+}
+
+// Delete-heavy churn with duplicates across leaf boundaries: erase and
+// re-insert in waves, validating structure and counts throughout.
+TEST(BPlusTreeTest, DeleteChurnWithDuplicatesStaysValid) {
+  BPlusTree<std::int64_t> t({.leaf_capacity = 8, .internal_fanout = 4});
+  std::vector<std::int64_t> model;
+  Rng rng(23);
+  for (int wave = 0; wave < 6; ++wave) {
+    for (int i = 0; i < 500; ++i) {
+      const auto k = static_cast<std::int64_t>(rng.NextBounded(40));  // heavy dups
+      t.Insert(k);
+      model.push_back(k);
+    }
+    for (int i = 0; i < 400 && !model.empty(); ++i) {
+      const std::size_t pick = rng.NextBounded(model.size());
+      ASSERT_TRUE(t.EraseOne(model[pick]));
+      model[pick] = model.back();
+      model.pop_back();
+    }
+    ASSERT_TRUE(t.Validate()) << "wave " << wave;
+    ASSERT_EQ(t.size(), model.size());
+    for (std::int64_t v = 0; v < 40; v += 7) {
+      const auto want = static_cast<std::size_t>(
+          std::count(model.begin(), model.end(), v));
+      ASSERT_EQ(t.CountRange(Pred::Between(v, v)), want)
+          << "wave " << wave << " value " << v;
+    }
+  }
+}
+
 TEST(BPlusTreeTest, MoveSemantics) {
   BPlusTree<std::int64_t> a;
   for (int i = 0; i < 100; ++i) a.Insert(i);

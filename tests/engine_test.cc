@@ -196,6 +196,33 @@ TEST(DatabaseTest, StructuralCacheKeyDistinguishesKnobs) {
   EXPECT_EQ(db.num_cached_paths(), 4u);
 }
 
+// Kernel variants of one strategy are distinct adaptive structures (their
+// physical layouts diverge) — distinct in the cache, distinct in the name.
+TEST(DatabaseTest, CacheAndDisplayNameDistinguishKernelVariants) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t").ok());
+  ASSERT_TRUE(db.AddColumn("t", "v", RandomValues(4000, 1000, 60)).ok());
+  const auto p = Pred::Between(100, 500);
+  const auto expect = db.Count("t", "v", p, StrategyConfig::FullScan());
+  ASSERT_TRUE(expect.ok());
+  std::size_t paths = db.num_cached_paths();
+  for (const CrackKernel kernel :
+       {CrackKernel::kBranchy, CrackKernel::kPredicated,
+        CrackKernel::kPredicatedUnrolled}) {
+    StrategyConfig config = StrategyConfig::Crack();
+    config.crack_kernel = kernel;
+    auto count = db.Count("t", "v", p, config);
+    ASSERT_TRUE(count.ok()) << config.DisplayName();
+    EXPECT_EQ(*count, *expect) << config.DisplayName();
+    EXPECT_EQ(db.num_cached_paths(), ++paths)
+        << config.DisplayName() << " aliased an existing kernel variant";
+  }
+  EXPECT_EQ(StrategyConfig::Crack().DisplayName(), "crack");
+  StrategyConfig pred_config = StrategyConfig::Crack();
+  pred_config.crack_kernel = CrackKernel::kPredicated;
+  EXPECT_EQ(pred_config.DisplayName(), "crack+pred");
+}
+
 TEST(DatabaseTest, InsertAndDeleteKeepEveryCachedPathConsistent) {
   Database db;
   ASSERT_TRUE(db.CreateTable("t").ok());

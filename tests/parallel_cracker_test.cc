@@ -324,6 +324,92 @@ TEST(PartitionedCrackerTest, UpdatesMatchOracleSingleThreaded) {
   EXPECT_TRUE(col.ValidatePieces());
 }
 
+// Batch writes group by owning partition (one latch per partition per
+// batch) and must be observationally identical to the equivalent scalar
+// loops — same counts, same live size, same multiset.
+TEST(PartitionedCrackerTest, BatchWritesMatchScalarLoops) {
+  constexpr std::int64_t kDomain = 3000;
+  auto model = RandomValues(10000, kDomain, 63);
+  Column col(model, {.num_partitions = 6, .column_options = {.with_row_ids = true}});
+  Rng rng(64);
+  for (int round = 0; round < 8; ++round) {
+    // Insert a batch spanning many partitions (with duplicates).
+    std::vector<std::int64_t> batch(300);
+    for (auto& v : batch) v = static_cast<std::int64_t>(rng.NextBounded(kDomain));
+    col.InsertBatch(batch);
+    model.insert(model.end(), batch.begin(), batch.end());
+    ASSERT_EQ(col.size(), model.size());
+
+    // Delete a batch: mostly live values, some absent, some duplicated
+    // within the batch.
+    std::vector<std::int64_t> victims;
+    std::size_t expect_deleted = 0;
+    std::vector<std::int64_t> scratch = model;
+    for (int i = 0; i < 150; ++i) {
+      std::int64_t v;
+      if (rng.NextBounded(5) == 0) {
+        v = kDomain + static_cast<std::int64_t>(rng.NextBounded(100));  // absent
+      } else {
+        v = model[rng.NextBounded(model.size())];
+      }
+      victims.push_back(v);
+      const auto it = std::find(scratch.begin(), scratch.end(), v);
+      if (it != scratch.end()) {
+        *it = scratch.back();
+        scratch.pop_back();
+        ++expect_deleted;
+      }
+    }
+    ASSERT_EQ(col.DeleteBatch(victims), expect_deleted) << "round " << round;
+    model = std::move(scratch);
+    ASSERT_EQ(col.size(), model.size());
+
+    const Pred p = RandomPredicate(&rng, kDomain);
+    ASSERT_EQ(col.Count(p), ScanCount<std::int64_t>(model, p)) << "round " << round;
+  }
+  EXPECT_TRUE(col.ValidatePieces());
+}
+
+// Concurrent batch writers: two threads InsertBatch/DeleteBatch their own
+// disjoint value spaces while readers count. Balances totals afterwards;
+// the latch protocol (one partition latch at a time, ascending) must hold
+// under TSan.
+TEST(PartitionedCrackerTest, ConcurrentBatchWriterStress) {
+  constexpr std::int64_t kDomain = 4000;
+  const auto base = RandomValues(20000, kDomain, 65);
+  Column col(base, {.num_partitions = 8});
+  constexpr int kWriters = 2;
+  constexpr int kRounds = 30;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(700 + t);
+      for (int round = 0; round < kRounds; ++round) {
+        // Fresh values disjoint from the base domain and from other threads.
+        std::vector<std::int64_t> batch(64);
+        for (auto& v : batch) {
+          v = kDomain + 1 + t + kWriters * static_cast<std::int64_t>(
+                                    rng.NextBounded(1000));
+        }
+        col.InsertBatch(batch);
+        if (col.DeleteBatch(batch) != batch.size()) failures.fetch_add(1);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    Rng rng(900);
+    for (int q = 0; q < 200; ++q) {
+      const Pred p = RandomPredicate(&rng, kDomain);
+      if (col.Count(p) < ScanCount<std::int64_t>(base, p)) failures.fetch_add(1);
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(col.size(), base.size());
+  EXPECT_TRUE(col.ValidatePieces());
+}
+
 // Concurrent writers and readers on one shared column: writer threads
 // insert disjoint fresh values and delete some of their own inserts,
 // reader threads issue range counts throughout. The readers cannot check
