@@ -2,17 +2,26 @@
 // cracker column (Alvarez et al., "Main Memory Adaptive Indexing for
 // Multi-core Systems" shape) over concurrent query streams.
 //
-// Two sweeps, both against the single-threaded crack baseline and the
-// coarse-latched crack (SerializedAccessPath — the "one big lock" lower
-// bound any real concurrency scheme must beat):
+// Four sweeps. The first two run against the single-threaded crack
+// baseline and the coarse-latched crack (SerializedAccessPath — the "one
+// big lock" lower bound any real concurrency scheme must beat):
 //   1. queries/sec vs client thread count (1, 2, 4, 8) at 8 partitions;
 //   2. queries/sec vs partition count (1, 2, 4, 8, 16) at 4 client threads.
+// The latch-mode axis (docs/CONCURRENCY.md §4) then measures striped piece
+// latching against the partition-mutex fallback on the workload partition
+// latching cannot help with — every query inside ONE partition:
+//   3. queries/sec vs client threads for both latch modes on a
+//      same-partition-skewed stream (plus a `headline` JSON row with the
+//      striped/mutex ratio at 8 threads);
+//   4. queries/sec vs stripe-table size (1, 4, 16, 64) at 8 threads.
 //
 // Each configuration gets a fresh path, so adaptation (including the
 // first-query copy/scatter) is inside the measured window. Checksums are
 // compared across configurations, so a silent wrong answer fails loudly.
 // Note: scaling requires physical cores; on a 1-core host the partitioned
-// column should roughly tie the coarse latch, not beat it.
+// column should roughly tie the coarse latch, not beat it — though the
+// striped mode's shared-latch read path keeps an edge even there, because
+// converged same-partition readers stop serializing at all.
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
@@ -174,6 +183,128 @@ int main(int argc, char** argv) {
         .Set("pcrack_qps", result.QueriesPerSecond());
   }
   by_partitions.Print(std::cout);
+
+  // Sweep 3: the latch-mode axis. Every query lands in partition 0 (query
+  // lows confined to the bottom tenth of the domain, well inside the first
+  // equi-depth splitter at ~n/8), so partition-granularity latching
+  // serializes the whole stream and any scaling must come from piece
+  // granularity. Checksums are pinned across modes per thread count.
+  std::cout << "\nthroughput vs latch mode (8 partitions, same-partition-"
+               "skewed stream):\n";
+  std::vector<Queries> skewed;
+  skewed.reserve(kMaxThreads);
+  for (std::size_t t = 0; t < kMaxThreads; ++t) {
+    skewed.push_back(GenerateQueries({.pattern = QueryPattern::kRandom,
+                                      .num_queries = queries_per_thread,
+                                      .domain = static_cast<std::int64_t>(n / 10),
+                                      .selectivity = 0.005,
+                                      .seed = 300 + t}));
+  }
+  TablePrinter by_mode(
+      {"threads", "striped q/s", "mutex q/s", "striped/mutex"});
+  double striped_qps_8t = 0;
+  double mutex_qps_8t = 0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    std::uint64_t striped_sum = 0;
+    const auto striped_path = MakeAccessPath<std::int64_t>(
+        data, StrategyConfig::ParallelCrack(8, /*threads=*/1,
+                                            LatchMode::kStripedPiece));
+    const auto striped = RunConcurrent(*striped_path, skewed, threads,
+                                       queries_per_thread, &striped_sum);
+
+    std::uint64_t mutex_sum = 0;
+    const auto mutex_path = MakeAccessPath<std::int64_t>(
+        data, StrategyConfig::ParallelCrack(8, /*threads=*/1,
+                                            LatchMode::kPartitionMutex));
+    const auto mutexed = RunConcurrent(*mutex_path, skewed, threads,
+                                       queries_per_thread, &mutex_sum);
+
+    if (striped_sum != mutex_sum) {
+      std::cerr << "CHECKSUM MISMATCH at " << threads
+                << " threads (latch sweep): striped " << striped_sum
+                << " vs mutex " << mutex_sum << "\n";
+      return 1;
+    }
+    if (threads == 8) {
+      striped_qps_8t = striped.QueriesPerSecond();
+      mutex_qps_8t = mutexed.QueriesPerSecond();
+    }
+    by_mode.AddRow(
+        {std::to_string(threads),
+         std::to_string(static_cast<std::size_t>(striped.QueriesPerSecond())),
+         std::to_string(static_cast<std::size_t>(mutexed.QueriesPerSecond())),
+         Format2(striped.QueriesPerSecond() / mutexed.QueriesPerSecond()) +
+             "x"});
+    csv_rows.push_back({"latch", std::to_string(threads),
+                        std::to_string(striped.QueriesPerSecond()),
+                        std::to_string(mutexed.QueriesPerSecond())});
+    // `stripes` records the effective latch-table size of the measured
+    // configuration: the striped default (16), or 1 for the partition
+    // mutex (whole-partition exclusion — no stripe table exists).
+    struct LatchRow {
+      const char* mode;
+      std::size_t stripes;
+      double qps;
+    };
+    for (const LatchRow& row :
+         {LatchRow{"striped", 16, striped.QueriesPerSecond()},
+          LatchRow{"partition-mutex", 1, mutexed.QueriesPerSecond()}}) {
+      json.AddRow("latch_sweep")
+          .Set("latch_mode", row.mode)
+          .Set("threads", std::size_t{threads})
+          .Set("partitions", std::size_t{8})
+          .Set("stripes", row.stripes)
+          .Set("qps", row.qps);
+    }
+  }
+  by_mode.Print(std::cout);
+
+  // Sweep 4: stripe-table size under the same skewed stream at 8 threads.
+  // One stripe = total collision (every piece shares a latch); 64 = the
+  // table's ceiling.
+  std::cout << "\nthroughput vs stripe count (striped, 8 threads, skewed):\n";
+  TablePrinter by_stripes({"stripes", "q/s"});
+  std::uint64_t stripes_expected = 0;
+  bool have_stripes_expected = false;
+  for (const std::size_t stripes : {1u, 4u, 16u, 64u}) {
+    std::uint64_t sum = 0;
+    const auto path = MakeAccessPath<std::int64_t>(
+        data, StrategyConfig::ParallelCrack(8, /*threads=*/1,
+                                            LatchMode::kStripedPiece, stripes));
+    const auto result = RunConcurrent(*path, skewed, 8, queries_per_thread, &sum);
+    if (!have_stripes_expected) {
+      stripes_expected = sum;
+      have_stripes_expected = true;
+    } else if (sum != stripes_expected) {
+      std::cerr << "CHECKSUM MISMATCH at " << stripes << " stripes\n";
+      return 1;
+    }
+    by_stripes.AddRow(
+        {std::to_string(stripes),
+         std::to_string(static_cast<std::size_t>(result.QueriesPerSecond()))});
+    json.AddRow("stripes_sweep")
+        .Set("stripes", std::size_t{stripes})
+        .Set("threads", std::size_t{8})
+        .Set("partitions", std::size_t{8})
+        .Set("qps", result.QueriesPerSecond());
+  }
+  by_stripes.Print(std::cout);
+
+  // The recorded headline the CI gate (scripts/compare_bench.py) checks
+  // for presence and shape: striped vs partition-mutex concurrent-select
+  // throughput at 8 client threads on the same-partition-skewed stream.
+  const double latch_ratio =
+      mutex_qps_8t > 0 ? striped_qps_8t / mutex_qps_8t : 0;
+  json.AddRow("headline")
+      .Set("metric", "same_partition_skew_8_threads")
+      .Set("threads", std::size_t{8})
+      .Set("partitions", std::size_t{8})
+      .Set("striped_qps", striped_qps_8t)
+      .Set("mutex_qps", mutex_qps_8t)
+      .Set("striped_vs_mutex", latch_ratio)
+      .Set("striped_at_least_mutex", latch_ratio >= 1.0);
+  std::cout << "\nheadline: striped/mutex throughput at 8 threads (skewed) = "
+            << Format2(latch_ratio) << "x\n";
 
   const std::string csv = bench::CsvPath("e11_parallel_scaling.csv");
   if (!csv.empty()) {

@@ -6,18 +6,23 @@
 #
 # scripts/check.sh --tsan builds the concurrency suites under
 # ThreadSanitizer (separate build-tsan/ tree; benches and examples off for
-# speed) and runs the parallel tests — the same job CI runs.
+# speed) and runs every test carrying the `concurrency` ctest label — the
+# same job CI runs. New parallel suites opt in by joining
+# AIDX_CONCURRENCY_TEST_SUITES in CMakeLists.txt (a name filter here would
+# silently skip them).
 #
 # scripts/check.sh --asan builds the full test suite under
 # AddressSanitizer + UndefinedBehaviorSanitizer (separate build-asan/
 # tree) — ripple merges, delta buffers, and segment appends are exactly
 # where memory bugs hide. Also a CI job.
 #
-# scripts/check.sh --bench-smoke builds bench_e12_crack_kernels and runs
-# it at reduced scale with --json, validating the emitted
-# BENCH_e12_crack_kernels.json (build/bench-artifacts/). CI runs this on
-# every push and uploads the JSON as an artifact — the repo's recorded
-# perf trajectory. Scale overrides: AIDX_N / AIDX_Q as usual.
+# scripts/check.sh --bench-smoke builds bench_e12_crack_kernels and
+# bench_e11_parallel_scaling and runs both at reduced scale with --json,
+# then gates the emitted BENCH_*.json (build/bench-artifacts/) through
+# scripts/compare_bench.py — schema plus per-bench headline metrics (a
+# trend gate, not a noise gate). CI runs this on every push and uploads
+# the JSONs as artifacts — the repo's recorded perf trajectory. Scale
+# overrides: AIDX_N / AIDX_Q as usual.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,7 +37,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
     "$@"
   cmake --build build-tsan -j "$(nproc)"
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R 'PartitionedCracker|ThreadPool'
+    -L concurrency
   exit 0
 fi
 
@@ -52,16 +57,23 @@ fi
 if [[ "${1:-}" == "--bench-smoke" ]]; then
   shift
   cmake -B build -S . "$@"
-  cmake --build build -j "$(nproc)" --target bench_e12_crack_kernels
+  cmake --build build -j "$(nproc)" \
+    --target bench_e12_crack_kernels bench_e11_parallel_scaling
   mkdir -p build/bench-artifacts
   AIDX_N="${AIDX_N:-200000}" AIDX_Q="${AIDX_Q:-128}" AIDX_CSV_DIR="" \
     AIDX_JSON_DIR=build/bench-artifacts \
     ./build/bench_e12_crack_kernels --json
+  AIDX_N="${AIDX_N:-200000}" AIDX_Q="${AIDX_Q:-256}" AIDX_CSV_DIR="" \
+    AIDX_JSON_DIR=build/bench-artifacts \
+    ./build/bench_e11_parallel_scaling --json
   test -s build/bench-artifacts/BENCH_e12_crack_kernels.json
+  test -s build/bench-artifacts/BENCH_e11_parallel_scaling.json
   if command -v python3 >/dev/null 2>&1; then
-    python3 -m json.tool build/bench-artifacts/BENCH_e12_crack_kernels.json \
-      > /dev/null
-    echo "bench-smoke: BENCH_e12_crack_kernels.json is valid JSON"
+    python3 scripts/compare_bench.py \
+      build/bench-artifacts/BENCH_e12_crack_kernels.json \
+      build/bench-artifacts/BENCH_e11_parallel_scaling.json
+  else
+    echo "bench-smoke: python3 unavailable; skipped compare_bench.py gate" >&2
   fi
   exit 0
 fi

@@ -241,6 +241,42 @@ class CrackerColumn {
     }
   }
 
+  // -- Parallel-layer primitives (striped piece latching) ------------------
+  //
+  // The partitioned column's kStripedPiece mode (docs/CONCURRENCY.md §4)
+  // drives cracking through these instead of Select so that the physical
+  // permutation of one piece and the index mutation that publishes it can
+  // be protected by different latches. They deliberately touch neither the
+  // cracker index nor the stats: the caller owns exclusive access to the
+  // piece's position range while permuting, serializes RegisterCut against
+  // every other index access, and accounts the work itself.
+  // src/parallel/partitioned_cracker_column.h is the only intended caller.
+
+  /// Physically partitions [piece.begin, piece.end) around `cut` with the
+  /// column's kernel and returns the absolute split position. Registers
+  /// nothing: pair with RegisterCut.
+  std::size_t CrackPieceAt(const PieceInfo<T>& piece, const Cut<T>& cut) {
+    return piece.begin +
+           CrackInTwo<T>(MutableValuesIn({piece.begin, piece.end}),
+                         MutableRowIdsIn({piece.begin, piece.end}), cut,
+                         options_.kernel);
+  }
+
+  /// Three-way variant: partitions the piece around both cuts at once and
+  /// returns piece-relative split offsets (same contract as CrackInThree).
+  ThreeWaySplit CrackPieceInThreeAt(const PieceInfo<T>& piece,
+                                    const Cut<T>& lo_cut, const Cut<T>& hi_cut) {
+    return CrackInThree<T>(MutableValuesIn({piece.begin, piece.end}),
+                           MutableRowIdsIn({piece.begin, piece.end}), lo_cut,
+                           hi_cut, options_.kernel);
+  }
+
+  /// Publishes a cut realized through CrackPieceAt/CrackPieceInThreeAt.
+  void RegisterCut(const Cut<T>& cut, std::size_t position) {
+    index_.AddCut(cut, position);
+  }
+  // ------------------------------------------------------------------------
+
   std::span<const T> values() const { return values_; }
   std::span<const row_id_t> row_ids() const { return row_ids_; }
   std::size_t size() const { return values_.size(); }

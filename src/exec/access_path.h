@@ -82,6 +82,12 @@ struct StrategyConfig {
   // stochastic / hybrid / parallel-crack; core/crack_ops.h). One switch
   // flips the innermost loops under all cracked structures.
   CrackKernel crack_kernel = CrackKernel::kBranchy;
+  // kParallelCrack intra-partition latch protocol: piece-granularity
+  // striped rwlatches (default) or the one-mutex-per-partition baseline
+  // kept for differential testing, plus the per-partition stripe-table
+  // size (clamped to [1, 64]; docs/CONCURRENCY.md §4).
+  LatchMode latch_mode = LatchMode::kStripedPiece;
+  std::size_t latch_stripes = 16;
 
   /// Structural equality over every knob — the Database path cache keys on
   /// this, so two configs collide only when they are truly identical.
@@ -105,10 +111,14 @@ struct StrategyConfig {
             .hybrid_final = final_mode};
   }
   static StrategyConfig ParallelCrack(std::size_t partitions = 8,
-                                      std::size_t threads = 4) {
+                                      std::size_t threads = 4,
+                                      LatchMode latch = LatchMode::kStripedPiece,
+                                      std::size_t stripes = 16) {
     return {.kind = StrategyKind::kParallelCrack,
             .num_partitions = partitions,
-            .num_threads = threads};
+            .num_threads = threads,
+            .latch_mode = latch,
+            .latch_stripes = stripes};
   }
 
   /// Short display name used in figures and reports ("crack", "HCS", ...).
@@ -143,15 +153,22 @@ struct StrategyConfig {
       case StrategyKind::kHybrid:
         return std::string("H") + OrganizeModeLetter(hybrid_initial) +
                OrganizeModeLetter(hybrid_final) + kernel_suffix;
-      case StrategyKind::kParallelCrack:
+      case StrategyKind::kParallelCrack: {
         // Shape-changing knobs stay in the name for figures and reports
         // (the Database cache keys on the full config, not this string).
         // Comma-free: the name lands unquoted in CSV headers
-        // (workload/report.cc).
-        return "pcrack(" + std::to_string(num_partitions) + "x" +
-               std::to_string(num_threads) +
-               (min_piece_size > 0 ? "-p" + std::to_string(min_piece_size) : "") +
-               ")" + kernel_suffix;
+        // (workload/report.cc). Latch-protocol knobs appear only off their
+        // defaults, so the striped default keeps the historical name.
+        std::string name = "pcrack(" + std::to_string(num_partitions) + "x" +
+                           std::to_string(num_threads);
+        if (latch_mode == LatchMode::kPartitionMutex) {
+          name += "-mtx";
+        } else if (latch_stripes != 16) {
+          name += "-s" + std::to_string(latch_stripes);
+        }
+        if (min_piece_size > 0) name += "-p" + std::to_string(min_piece_size);
+        return name + ")" + kernel_suffix;
+      }
     }
     return "?";
   }
@@ -512,11 +529,13 @@ class HybridPath final : public AccessPath<T> {
 };
 
 // Partitioned parallel cracking. Unlike the other paths this one is safe
-// to share across threads: the column latches per partition, and the lazy
-// construction itself is guarded. The path owns the intra-query ThreadPool
-// (num_threads - 1 workers; the querying thread participates as the last).
-// Writes route to the partition owning the value and queue under that
-// partition's latch (docs/CONCURRENCY.md), so concurrent writers to
+// to share across threads: the column latches at piece granularity
+// (striped rwlatches; or per partition under the kPartitionMutex
+// fallback — config.latch_mode), and the lazy construction itself is
+// guarded. The path owns the intra-query ThreadPool (num_threads - 1
+// workers; the querying thread participates as the last). Writes route to
+// the partition owning the value and queue under whole-partition
+// exclusion (docs/CONCURRENCY.md §3–§4), so concurrent writers to
 // disjoint partitions proceed fully in parallel.
 template <ColumnValue T>
 class ParallelCrackPath final : public AccessPath<T> {
@@ -558,6 +577,8 @@ class ParallelCrackPath final : public AccessPath<T> {
       options.splitter_seed = config_.seed;
       options.merge_policy = config_.merge_policy;
       options.gradual_budget = config_.gradual_budget;
+      options.latch_mode = config_.latch_mode;
+      options.latch_stripes = config_.latch_stripes;
       column_.emplace(base_, options, pool_.get());
     });
     return *column_;

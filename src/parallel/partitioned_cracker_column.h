@@ -9,49 +9,62 @@
 //    move tuples in another, so disjoint partitions need no coordination.
 //  - Graefe et al., "Concurrency Control for Adaptive Indexing": every
 //    adaptive query is also a writer, so latch at the granularity of the
-//    structure actually reorganized. They latch individual pieces; we take
-//    the documented simplification of one latch per *partition* (the
-//    partition is our unit of reorganization), which keeps the protocol
-//    two-line simple while still letting queries over disjoint partitions
-//    crack fully concurrently.
+//    structure actually reorganized — individual pieces, coordinated
+//    through a short-duration latch on the cracker index.
+//
+// Two latch protocols are implemented, selected by LatchMode:
+//
+//  - kPartitionMutex: one mutex per partition (the PR-2 baseline). Queries
+//    over disjoint partitions crack concurrently; queries into the same
+//    partition serialize wholesale. Kept as the differential-testing and
+//    benchmarking oracle for the striped mode.
+//  - kStripedPiece (default): the Graefe-style piece protocol. Each
+//    partition carries a fixed table of reader-writer stripe latches over
+//    *position blocks* (a piece's stripe set is the hash of every block its
+//    position range overlaps), a reader-writer `structural` latch, and a
+//    reader-writer latch on the cracker index. A select takes shared
+//    latches on what it only reads and exclusive stripe latches on the
+//    (<= 2, plus stochastic pre-cracks) pieces it cracks, so two selects
+//    into the same partition overlap whenever they crack disjoint pieces.
+//    The full protocol, its acquisition order, and the correctness
+//    argument live in docs/CONCURRENCY.md §4.
 //
 // Ownership: a PartitionedCrackerColumn owns its K shards (each an
-// independent CrackerColumn plus one latch) and its splitter table; it
-// *borrows* an optional ThreadPool for intra-query fan-out and never owns
-// it — one pool typically serves many columns. The base span is copied at
-// construction (same contract as CrackerColumn).
+// independent UpdatableCrackerColumn plus its latches) and its splitter
+// table; it *borrows* an optional ThreadPool for intra-query fan-out and
+// never owns it — one pool typically serves many columns. The base span is
+// copied at construction (same contract as CrackerColumn).
 //
 // Thread safety: Count, Sum, Materialize*, Insert, Delete, InsertBatch,
 // DeleteBatch, AggregatedStats, AggregatedUpdateStats, and ValidatePieces
-// are safe to call from any number of threads concurrently; each takes the
-// latches of only the partitions the predicate (or the written value) maps
-// to. The batch write paths group the batch by owning partition first and
-// take each touched partition's latch once per batch (ascending order, one
-// at a time), not once per tuple.
-// Select (which returns raw per-partition position ranges) is the
-// exception: positions are only stable while no other thread cracks the
-// same partition, so it is for externally synchronized use — tests,
-// single-threaded tools. The latch order is strictly ascending partition
-// index and at most one latch is held at a time, so deadlock is impossible.
+// are safe to call from any number of threads concurrently under both
+// latch modes. Select (which returns raw per-partition position ranges) is
+// the exception: positions are only stable while no other thread cracks
+// the same partition, so it is for externally synchronized use — tests,
+// single-threaded tools.
 //
-// Writes extend the latch protocol without new rules: a write routes to
-// the single partition owning its value (the splitter table is immutable,
-// so routing needs no latch), queues the update in that partition's
-// UpdatableCrackerColumn under its latch, and the queued tuple merges
-// adaptively when a later query touches its range — also under that
-// latch. Fresh row ids come from one atomic counter so they stay globally
-// unique across partitions; the live tuple count is likewise an atomic,
-// maintained outside any latch (docs/CONCURRENCY.md §3).
+// Writes route to the single partition owning their value (the splitter
+// table is immutable, so routing needs no latch) and queue in that
+// partition's UpdatableCrackerColumn under whole-partition exclusion (the
+// partition mutex, or the structural latch held exclusively); the queued
+// tuple merges adaptively when a later query touches its range. Fresh row
+// ids come from one atomic counter so they stay globally unique across
+// partitions; the live tuple count is likewise an atomic, maintained
+// outside any latch (docs/CONCURRENCY.md §3).
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
+#include "core/cut.h"
+#include "index/scan.h"
 #include "storage/predicate.h"
 #include "storage/types.h"
 #include "update/updatable_column.h"
@@ -61,6 +74,24 @@
 #include "util/thread_pool.h"
 
 namespace aidx {
+
+/// Intra-partition latch protocol of a PartitionedCrackerColumn.
+enum class LatchMode : char {
+  /// One mutex per partition (PR-2 baseline; differential oracle).
+  kPartitionMutex,
+  /// Piece-granularity striped reader-writer latches (docs/CONCURRENCY.md §4).
+  kStripedPiece,
+};
+
+inline const char* LatchModeName(LatchMode mode) {
+  switch (mode) {
+    case LatchMode::kPartitionMutex:
+      return "partition-mutex";
+    case LatchMode::kStripedPiece:
+      return "striped-piece";
+  }
+  return "?";
+}
 
 /// Tuning knobs for a partitioned cracker column.
 struct PartitionedCrackerOptions {
@@ -76,6 +107,12 @@ struct PartitionedCrackerOptions {
   /// Update-merge policy applied by every partition's update pipeline.
   MergePolicy merge_policy = MergePolicy::kRipple;
   std::size_t gradual_budget = 64;
+  /// Intra-partition latch protocol.
+  LatchMode latch_mode = LatchMode::kStripedPiece;
+  /// Stripe-latch table size per partition under kStripedPiece, clamped to
+  /// [1, 64]. More stripes = fewer false conflicts between disjoint pieces,
+  /// at a few hundred bytes per partition.
+  std::size_t latch_stripes = 16;
 };
 
 /// One partition's share of a fanned-out Select.
@@ -155,18 +192,16 @@ class PartitionedCrackerColumn {
     return *this;
   }
 
-  /// Queues an insert in the partition owning `value` (under its latch)
-  /// and returns the globally unique row id assigned to the fresh tuple.
-  /// The tuple merges into the cracked array when a later query needs its
-  /// range — the same adaptive bargain as the single-threaded pipeline.
-  /// Thread-safe.
+  /// Queues an insert in the partition owning `value` (under whole-partition
+  /// exclusion) and returns the globally unique row id assigned to the
+  /// fresh tuple. The tuple merges into the cracked array when a later
+  /// query needs its range — the same adaptive bargain as the
+  /// single-threaded pipeline. Thread-safe.
   row_id_t Insert(T value) {
     const row_id_t rid = next_rid_.fetch_add(1, std::memory_order_relaxed);
     Shard& shard = *shards_[PartitionOf(value)];
-    {
-      const std::lock_guard<std::mutex> guard(shard.latch);
-      shard.column.InsertWithRid(value, rid);
-    }
+    WithShardExclusive(shard,
+                       [&] { shard.column.InsertWithRid(value, rid); });
     live_size_.fetch_add(1, std::memory_order_relaxed);
     return rid;
   }
@@ -187,24 +222,23 @@ class PartitionedCrackerColumn {
     for (std::size_t p = 0; p < groups.size(); ++p) {
       if (groups[p].empty()) continue;
       Shard& shard = *shards_[p];
-      const std::lock_guard<std::mutex> guard(shard.latch);
-      for (const std::size_t i : groups[p]) {
-        shard.column.InsertWithRid(batch[i],
-                                   first_rid + static_cast<row_id_t>(i));
-      }
+      WithShardExclusive(shard, [&] {
+        for (const std::size_t i : groups[p]) {
+          shard.column.InsertWithRid(batch[i],
+                                     first_rid + static_cast<row_id_t>(i));
+        }
+      });
     }
     live_size_.fetch_add(batch.size(), std::memory_order_relaxed);
   }
 
   /// Deletes one live tuple equal to `value` from its owning partition
-  /// (under that partition's latch); false when absent. Thread-safe.
+  /// (under whole-partition exclusion; the existence probe cracks, which
+  /// is structural work); false when absent. Thread-safe.
   bool Delete(T value) {
     Shard& shard = *shards_[PartitionOf(value)];
-    bool deleted = false;
-    {
-      const std::lock_guard<std::mutex> guard(shard.latch);
-      deleted = shard.column.DeleteValue(value);
-    }
+    const bool deleted =
+        WithShardExclusive(shard, [&] { return shard.column.DeleteValue(value); });
     if (deleted) live_size_.fetch_sub(1, std::memory_order_relaxed);
     return deleted;
   }
@@ -219,10 +253,11 @@ class PartitionedCrackerColumn {
     for (std::size_t p = 0; p < groups.size(); ++p) {
       if (groups[p].empty()) continue;
       Shard& shard = *shards_[p];
-      const std::lock_guard<std::mutex> guard(shard.latch);
-      for (const std::size_t i : groups[p]) {
-        deleted += shard.column.DeleteValue(batch[i]) ? 1 : 0;
-      }
+      WithShardExclusive(shard, [&] {
+        for (const std::size_t i : groups[p]) {
+          deleted += shard.column.DeleteValue(batch[i]) ? 1 : 0;
+        }
+      });
     }
     live_size_.fetch_sub(deleted, std::memory_order_relaxed);
     return deleted;
@@ -234,15 +269,11 @@ class PartitionedCrackerColumn {
     if (pred.DefinitelyEmpty()) return 0;
     const auto [first, last] = OverlapRange(pred);
     if (first == last) {  // common narrow-predicate case: no fan-out state
-      Shard& shard = *shards_[first];
-      const std::lock_guard<std::mutex> guard(shard.latch);
-      return shard.column.Count(pred);
+      return CountShard(*shards_[first], pred);
     }
     std::vector<std::size_t> partial(last - first + 1, 0);
     ForEachOverlapping(first, last, [&](std::size_t p, std::size_t slot) {
-      Shard& shard = *shards_[p];
-      const std::lock_guard<std::mutex> guard(shard.latch);
-      partial[slot] = shard.column.Count(pred);
+      partial[slot] = CountShard(*shards_[p], pred);
     });
     std::size_t total = 0;
     for (const std::size_t c : partial) total += c;
@@ -255,15 +286,11 @@ class PartitionedCrackerColumn {
     if (pred.DefinitelyEmpty()) return 0;
     const auto [first, last] = OverlapRange(pred);
     if (first == last) {
-      Shard& shard = *shards_[first];
-      const std::lock_guard<std::mutex> guard(shard.latch);
-      return shard.column.Sum(pred);
+      return SumShard(*shards_[first], pred);
     }
     std::vector<long double> partial(last - first + 1, 0);
     ForEachOverlapping(first, last, [&](std::size_t p, std::size_t slot) {
-      Shard& shard = *shards_[p];
-      const std::lock_guard<std::mutex> guard(shard.latch);
-      partial[slot] = shard.column.Sum(pred);
+      partial[slot] = SumShard(*shards_[p], pred);
     });
     long double total = 0;
     for (const long double s : partial) total += s;
@@ -272,19 +299,15 @@ class PartitionedCrackerColumn {
 
   /// Appends matching values to `out`, grouped by ascending partition
   /// (order within the result is unspecified, as for CrackerColumn whose
-  /// storage order is crack-dependent). Thread-safe: each partition is
-  /// selected and materialized under its latch, so concurrent cracks
-  /// cannot invalidate the positions in between.
+  /// storage order is crack-dependent). Thread-safe: each partition's
+  /// positions are resolved and consumed under that partition's latches,
+  /// so concurrent cracks cannot invalidate them in between.
   void MaterializeValues(const RangePredicate<T>& pred, std::vector<T>* out) {
     if (pred.DefinitelyEmpty()) return;
     const auto [first, last] = OverlapRange(pred);
     std::vector<std::vector<T>> partial(last - first + 1);
     ForEachOverlapping(first, last, [&](std::size_t p, std::size_t slot) {
-      Shard& shard = *shards_[p];
-      const std::lock_guard<std::mutex> guard(shard.latch);
-      shard.column.MergePendingFor(pred);
-      const CrackSelect sel = shard.column.Select(pred);
-      shard.column.MaterializeValues(sel, pred, &partial[slot]);
+      MaterializeShardValues(*shards_[p], pred, &partial[slot]);
     });
     for (const auto& chunk : partial) {
       out->insert(out->end(), chunk.begin(), chunk.end());
@@ -301,11 +324,7 @@ class PartitionedCrackerColumn {
     const auto [first, last] = OverlapRange(pred);
     std::vector<std::vector<row_id_t>> partial(last - first + 1);
     ForEachOverlapping(first, last, [&](std::size_t p, std::size_t slot) {
-      Shard& shard = *shards_[p];
-      const std::lock_guard<std::mutex> guard(shard.latch);
-      shard.column.MergePendingFor(pred);
-      const CrackSelect sel = shard.column.Select(pred);
-      shard.column.MaterializeRowIds(sel, pred, &partial[slot]);
+      MaterializeShardRowIds(*shards_[p], pred, &partial[slot]);
     });
     for (const auto& chunk : partial) {
       out->insert(out->end(), chunk.begin(), chunk.end());
@@ -316,7 +335,7 @@ class PartitionedCrackerColumn {
   /// the per-partition CrackSelect results. NOT safe under concurrent
   /// queries: the returned positions are stable only until the next crack
   /// of the same partition (see file comment). Prefer Count/Sum/
-  /// Materialize*, which resolve positions under the latch.
+  /// Materialize*, which resolve positions under the latches.
   ParallelSelect Select(const RangePredicate<T>& pred) {
     ParallelSelect out;
     if (pred.DefinitelyEmpty()) return out;
@@ -324,24 +343,36 @@ class PartitionedCrackerColumn {
     out.partitions.resize(last - first + 1);
     ForEachOverlapping(first, last, [&](std::size_t p, std::size_t slot) {
       Shard& shard = *shards_[p];
-      const std::lock_guard<std::mutex> guard(shard.latch);
-      shard.column.MergePendingFor(pred);
-      out.partitions[slot] = {p, shard.column.Select(pred)};
+      WithShardExclusive(shard, [&] {
+        shard.column.MergePendingFor(pred);
+        out.partitions[slot] = {p, shard.column.Select(pred)};
+      });
     });
     return out;
   }
 
-  /// Sum of all partitions' CrackerStats. Thread-safe (takes each latch).
+  /// Sum of all partitions' CrackerStats, including the work performed by
+  /// the striped fast path. Thread-safe (whole-partition exclusion per
+  /// shard).
   CrackerStats AggregatedStats() const {
     CrackerStats total;
     for (const auto& shard : shards_) {
-      const std::lock_guard<std::mutex> guard(shard->latch);
-      const CrackerStats& s = shard->column.stats();
-      total.num_selects += s.num_selects;
-      total.num_crack_in_two += s.num_crack_in_two;
-      total.num_crack_in_three += s.num_crack_in_three;
-      total.num_stochastic_cracks += s.num_stochastic_cracks;
-      total.values_touched += s.values_touched;
+      WithShardExclusive(*shard, [&] {
+        const CrackerStats& s = shard->column.stats();
+        total.num_selects += s.num_selects;
+        total.num_crack_in_two += s.num_crack_in_two;
+        total.num_crack_in_three += s.num_crack_in_three;
+        total.num_stochastic_cracks += s.num_stochastic_cracks;
+        total.values_touched += s.values_touched;
+      });
+      const StripedShardStats& f = shard->striped_stats;
+      total.num_selects += f.num_selects.load(std::memory_order_relaxed);
+      total.num_crack_in_two += f.num_crack_in_two.load(std::memory_order_relaxed);
+      total.num_crack_in_three +=
+          f.num_crack_in_three.load(std::memory_order_relaxed);
+      total.num_stochastic_cracks +=
+          f.num_stochastic_cracks.load(std::memory_order_relaxed);
+      total.values_touched += f.values_touched.load(std::memory_order_relaxed);
     }
     return total;
   }
@@ -350,14 +381,15 @@ class PartitionedCrackerColumn {
   UpdateStats AggregatedUpdateStats() const {
     UpdateStats total;
     for (const auto& shard : shards_) {
-      const std::lock_guard<std::mutex> guard(shard->latch);
-      const UpdateStats& s = shard->column.update_stats();
-      total.inserts_queued += s.inserts_queued;
-      total.deletes_queued += s.deletes_queued;
-      total.deletes_cancelled += s.deletes_cancelled;
-      total.inserts_merged += s.inserts_merged;
-      total.deletes_merged += s.deletes_merged;
-      total.ripple_element_moves += s.ripple_element_moves;
+      WithShardExclusive(*shard, [&] {
+        const UpdateStats& s = shard->column.update_stats();
+        total.inserts_queued += s.inserts_queued;
+        total.deletes_queued += s.deletes_queued;
+        total.deletes_cancelled += s.deletes_cancelled;
+        total.inserts_merged += s.inserts_merged;
+        total.deletes_merged += s.deletes_merged;
+        total.ripple_element_moves += s.ripple_element_moves;
+      });
     }
     return total;
   }
@@ -366,6 +398,9 @@ class PartitionedCrackerColumn {
   /// still-pending ones). Thread-safe.
   std::size_t size() const { return live_size_.load(std::memory_order_relaxed); }
   std::size_t num_partitions() const { return shards_.size(); }
+  /// Effective stripe-latch table size per partition (1 in kPartitionMutex
+  /// mode; the clamped latch_stripes option otherwise).
+  std::size_t latch_stripes() const { return shards_.front()->stripes.size(); }
   /// Partition p holds values v with splitters()[p-1] <= v < splitters()[p]
   /// (unbounded at the extremes). Immutable after construction.
   std::span<const T> splitters() const { return splitters_; }
@@ -385,32 +420,521 @@ class PartitionedCrackerColumn {
   /// meaningful only when no writer is concurrently in flight.
   bool ValidatePieces() const {
     std::size_t live_seen = 0;
+    bool ok = true;
     for (std::size_t p = 0; p < shards_.size(); ++p) {
-      const std::lock_guard<std::mutex> guard(shards_[p]->latch);
-      const UpdatableCrackerColumn<T>& column = shards_[p]->column;
-      if (!column.Validate()) return false;
-      live_seen += column.live_size();
-      for (const T v : column.values()) {
-        if (p > 0 && v < splitters_[p - 1]) return false;
-        if (p < splitters_.size() && !(v < splitters_[p])) return false;
-      }
+      WithShardExclusive(*shards_[p], [&] {
+        const UpdatableCrackerColumn<T>& column = shards_[p]->column;
+        if (!column.Validate()) {
+          ok = false;
+          return;
+        }
+        live_seen += column.live_size();
+        for (const T v : column.values()) {
+          if (p > 0 && v < splitters_[p - 1]) ok = false;
+          if (p < splitters_.size() && !(v < splitters_[p])) ok = false;
+        }
+      });
+      if (!ok) return false;
     }
     return live_seen == size();
   }
 
  private:
+  /// Upper bound on the stripe table (stripe sets travel as 64-bit masks).
+  static constexpr std::size_t kMaxLatchStripes = 64;
+  /// Positions are hashed to stripes in blocks of 2^kStripeBlockShift, so
+  /// pieces smaller than a block still get distinct stripes once they land
+  /// in distinct blocks, while a huge early piece simply covers every
+  /// stripe (equivalent to whole-partition exclusion — which it is).
+  static constexpr std::size_t kStripeBlockShift = 8;
+
+  /// Fast-path work counters (kStripedPiece). Relaxed atomics: bumped under
+  /// shared latches, aggregated into CrackerStats by AggregatedStats.
+  struct StripedShardStats {
+    std::atomic<std::size_t> num_selects{0};
+    std::atomic<std::size_t> num_crack_in_two{0};
+    std::atomic<std::size_t> num_crack_in_three{0};
+    std::atomic<std::size_t> num_stochastic_cracks{0};
+    std::atomic<std::size_t> values_touched{0};
+  };
+
   struct Shard {
     Shard(std::vector<T> values, std::vector<row_id_t> row_ids,
           const CrackerColumnOptions& opts, const PartitionedCrackerOptions& parent)
-        : column(std::move(values), std::move(row_ids),
+        : stripes(parent.latch_mode == LatchMode::kStripedPiece
+                      ? std::clamp<std::size_t>(parent.latch_stripes, 1,
+                                                kMaxLatchStripes)
+                      : 1),
+          // Same seed as the inner column's stochastic rng: single-threaded
+          // pure-query runs then pick identical pivots in both latch modes,
+          // which is what pins the differential stat-parity tests.
+          rng(opts.stochastic_seed),
+          column(std::move(values), std::move(row_ids),
                  typename UpdatableCrackerColumn<T>::Options{
                      .policy = parent.merge_policy,
                      .gradual_budget = parent.gradual_budget,
                      .crack = opts},
                  /*first_fresh_rid=*/0) {}
-    mutable std::mutex latch;  // guards `column`, including its stats
+
+    // kPartitionMutex: the whole protocol — this latch guards `column`,
+    // including its stats and pending stores.
+    mutable std::mutex latch;
+
+    // kStripedPiece (docs/CONCURRENCY.md §4). Latch order: structural ->
+    // stripes (ascending) -> index_latch; rng_latch is a leaf.
+    //
+    // `structural`: shared by every query that relies on realized cut
+    // positions staying put and the arrays staying the same size; exclusive
+    // by everything that breaks that — pending-update merges, writes (which
+    // mutate the pending stores), and the wholesale slow path.
+    mutable std::shared_mutex structural;
+    // One reader-writer latch per stripe; a piece holds the stripes its
+    // position blocks hash to — shared to read values, exclusive to
+    // permute them.
+    mutable std::vector<std::shared_mutex> stripes;
+    // Guards the cracker index: shared for lookups, exclusive to register
+    // cuts. Maximum level in the latch order: nothing is acquired while
+    // holding it.
+    mutable std::shared_mutex index_latch;
+    mutable std::mutex rng_latch;  // stochastic pivots on the fast path
+    StripedShardStats striped_stats;
+    Rng rng;
     UpdatableCrackerColumn<T> column;
   };
+
+  /// RAII over one ordered acquisition of a stripe mask. Bits are acquired
+  /// in ascending stripe order — with at most one mask held per thread this
+  /// makes stripe deadlock impossible (docs/CONCURRENCY.md §4).
+  class StripeLockSet {
+   public:
+    StripeLockSet(std::vector<std::shared_mutex>* stripes, std::uint64_t mask,
+                  bool exclusive)
+        : stripes_(stripes), mask_(mask), exclusive_(exclusive) {
+      for (std::size_t i = 0; i < stripes_->size(); ++i) {
+        if (((mask_ >> i) & 1) == 0) continue;
+        if (exclusive_) {
+          (*stripes_)[i].lock();
+        } else {
+          (*stripes_)[i].lock_shared();
+        }
+      }
+    }
+    ~StripeLockSet() {
+      for (std::size_t i = stripes_->size(); i-- > 0;) {
+        if (((mask_ >> i) & 1) == 0) continue;
+        if (exclusive_) {
+          (*stripes_)[i].unlock();
+        } else {
+          (*stripes_)[i].unlock_shared();
+        }
+      }
+    }
+    AIDX_DISALLOW_COPY_AND_ASSIGN(StripeLockSet);
+
+   private:
+    std::vector<std::shared_mutex>* stripes_;
+    std::uint64_t mask_;
+    bool exclusive_;
+  };
+
+  /// A resolved striped select: core positions plus up to two sub-threshold
+  /// edge pieces still requiring predicate filtering (CrackSelect's shape,
+  /// shard-local).
+  struct StripedRange {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::array<PositionRange, 2> edges{};
+    int num_edges = 0;
+  };
+
+  std::size_t StripeOf(const Shard& shard, std::size_t block) const {
+    return static_cast<std::size_t>((block * 0x9E3779B97F4A7C15ULL) %
+                                    shard.stripes.size());
+  }
+
+  /// Stripe mask covering the position range [begin, end): the hash of
+  /// every overlapped block, or all stripes when the range spans at least
+  /// one block per stripe.
+  std::uint64_t StripeMask(const Shard& shard, std::size_t begin,
+                           std::size_t end) const {
+    if (begin >= end) return 0;
+    const std::size_t n = shard.stripes.size();
+    const std::size_t first = begin >> kStripeBlockShift;
+    const std::size_t last = (end - 1) >> kStripeBlockShift;
+    if (last - first + 1 >= n) {
+      return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+    }
+    std::uint64_t mask = 0;
+    for (std::size_t b = first; b <= last; ++b) {
+      mask |= std::uint64_t{1} << StripeOf(shard, b);
+    }
+    return mask;
+  }
+
+  /// Runs fn under whole-partition exclusion: the partition mutex in
+  /// kPartitionMutex mode, the structural latch (exclusive) in
+  /// kStripedPiece mode. Writes, merges, stats aggregation, and the raw
+  /// Select path use this.
+  template <typename Fn>
+  decltype(auto) WithShardExclusive(const Shard& shard, Fn&& fn) const {
+    if (options_.latch_mode == LatchMode::kPartitionMutex) {
+      const std::lock_guard<std::mutex> guard(shard.latch);
+      return fn();
+    }
+    const std::unique_lock<std::shared_mutex> guard(shard.structural);
+    return fn();
+  }
+
+  /// The striped read protocol's one skeleton, shared by Count/Sum/
+  /// Materialize*: whole-partition exclusion + `coarse` in kPartitionMutex
+  /// mode; otherwise gate on NeedsMergeFor under `structural` shared
+  /// (pending stores only change under `structural` exclusive, so the probe
+  /// is race-free), run `fast(resolved range)` under the shared stripe
+  /// masks of the edges — plus the core when `core_needs_values` (Count's
+  /// core is membership-only: bounded by realized cuts, which concurrent
+  /// cracks never move, so it needs no value reads and no stripes) — or
+  /// fall back to `coarse` under `structural` exclusive when pending
+  /// updates must fold into this predicate's range first.
+  template <typename FastFn, typename CoarseFn>
+  auto StripedReadOrCoarse(Shard& shard, const RangePredicate<T>& pred,
+                           bool core_needs_values, FastFn&& fast,
+                           CoarseFn&& coarse) {
+    if (options_.latch_mode == LatchMode::kPartitionMutex) {
+      const std::lock_guard<std::mutex> guard(shard.latch);
+      return coarse();
+    }
+    {
+      const std::shared_lock<std::shared_mutex> structural(shard.structural);
+      if (!shard.column.NeedsMergeFor(pred)) {
+        const StripedRange r = StripedResolve(shard, pred);
+        std::uint64_t mask =
+            core_needs_values ? StripeMask(shard, r.begin, r.end) : 0;
+        for (int i = 0; i < r.num_edges; ++i) {
+          mask |= StripeMask(shard, r.edges[i].begin, r.edges[i].end);
+        }
+        const StripeLockSet lock(&shard.stripes, mask, /*exclusive=*/false);
+        return fast(r);
+      }
+    }
+    const std::unique_lock<std::shared_mutex> structural(shard.structural);
+    return coarse();
+  }
+
+  std::size_t CountShard(Shard& shard, const RangePredicate<T>& pred) {
+    return StripedReadOrCoarse(
+        shard, pred, /*core_needs_values=*/false,
+        [&](const StripedRange& r) {
+          std::size_t count = r.end - r.begin;
+          for (int i = 0; i < r.num_edges; ++i) {
+            count += ScanCount<T>(ShardValuesIn(shard, r.edges[i]), pred);
+          }
+          return count;
+        },
+        [&] { return shard.column.Count(pred); });
+  }
+
+  long double SumShard(Shard& shard, const RangePredicate<T>& pred) {
+    return StripedReadOrCoarse(
+        shard, pred, /*core_needs_values=*/true,
+        [&](const StripedRange& r) {
+          const std::span<const T> values = shard.column.values();
+          long double sum = 0;
+          for (std::size_t i = r.begin; i < r.end; ++i) sum += values[i];
+          for (int i = 0; i < r.num_edges; ++i) {
+            sum += ScanSum<T>(ShardValuesIn(shard, r.edges[i]), pred);
+          }
+          return sum;
+        },
+        [&] { return shard.column.Sum(pred); });
+  }
+
+  void MaterializeShardValues(Shard& shard, const RangePredicate<T>& pred,
+                              std::vector<T>* out) {
+    StripedReadOrCoarse(
+        shard, pred, /*core_needs_values=*/true,
+        [&](const StripedRange& r) {
+          const std::span<const T> values = shard.column.values();
+          out->insert(out->end(),
+                      values.begin() + static_cast<std::ptrdiff_t>(r.begin),
+                      values.begin() + static_cast<std::ptrdiff_t>(r.end));
+          for (int i = 0; i < r.num_edges; ++i) {
+            ScanValues<T>(ShardValuesIn(shard, r.edges[i]), pred, out);
+          }
+        },
+        [&] {
+          shard.column.MergePendingFor(pred);
+          const CrackSelect sel = shard.column.Select(pred);
+          shard.column.MaterializeValues(sel, pred, out);
+        });
+  }
+
+  void MaterializeShardRowIds(Shard& shard, const RangePredicate<T>& pred,
+                              std::vector<row_id_t>* out) {
+    StripedReadOrCoarse(
+        shard, pred, /*core_needs_values=*/true,
+        [&](const StripedRange& r) {
+          const std::span<const T> values = shard.column.values();
+          const std::span<const row_id_t> rids = shard.column.row_ids();
+          out->insert(out->end(),
+                      rids.begin() + static_cast<std::ptrdiff_t>(r.begin),
+                      rids.begin() + static_cast<std::ptrdiff_t>(r.end));
+          for (int i = 0; i < r.num_edges; ++i) {
+            for (std::size_t p = r.edges[i].begin; p < r.edges[i].end; ++p) {
+              if (pred.Matches(values[p])) out->push_back(rids[p]);
+            }
+          }
+        },
+        [&] {
+          shard.column.MergePendingFor(pred);
+          const CrackSelect sel = shard.column.Select(pred);
+          shard.column.MaterializeRowIds(sel, pred, out);
+        });
+  }
+
+  std::span<const T> ShardValuesIn(const Shard& shard, PositionRange r) const {
+    return shard.column.values().subspan(r.begin, r.end - r.begin);
+  }
+
+  // -- The striped fast path (docs/CONCURRENCY.md §4) ----------------------
+  // Caller holds `structural` shared and has established that no pending
+  // update needs merging for this predicate. Mirrors CrackerColumn::Select
+  // decision-for-decision (crack-in-three fast path, stochastic pre-cracks,
+  // sub-threshold edges) so that single-threaded runs produce bit-identical
+  // piece structures and stats in both latch modes.
+
+  StripedRange StripedResolve(Shard& shard, const RangePredicate<T>& pred) {
+    shard.striped_stats.num_selects.fetch_add(1, std::memory_order_relaxed);
+    StripedRange out;
+    const PredicateCuts<T> cuts = CutsForPredicate(pred);
+    if (cuts.has_lower && cuts.has_upper && !(cuts.lower == cuts.upper) &&
+        StripedTryCrackInThree(shard, cuts.lower, cuts.upper, &out)) {
+      return out;
+    }
+    std::size_t begin = 0;
+    std::size_t end = shard.column.size();  // stable: structural held shared
+    if (cuts.has_lower) {
+      begin = StripedResolveCut(shard, cuts.lower, /*is_lower=*/true, &out);
+    }
+    if (cuts.has_upper) {
+      end = StripedResolveCut(shard, cuts.upper, /*is_lower=*/false, &out);
+    }
+    if (end < begin) end = begin;
+    out.begin = begin;
+    out.end = end;
+    if (out.num_edges == 2 && out.edges[0] == out.edges[1]) out.num_edges = 1;
+    return out;
+  }
+
+  /// Crack-in-three fast path: both cuts unrealized in one crackable piece.
+  /// Attempted once — if another thread races the piece between the lookup
+  /// and the stripe acquisition, fall back to one-cut-at-a-time resolution
+  /// (which handles every state). Returns true when it resolved the core.
+  bool StripedTryCrackInThree(Shard& shard, const Cut<T>& lo_cut,
+                              const Cut<T>& hi_cut, StripedRange* out) {
+    const CrackerColumnOptions& copts = shard.column.options();
+    PieceInfo<T> piece;
+    {
+      const std::shared_lock<std::shared_mutex> il(shard.index_latch);
+      const CutLookup<T> lo = shard.column.index().Lookup(lo_cut);
+      const CutLookup<T> hi = shard.column.index().Lookup(hi_cut);
+      // Oversized pieces skip this path so stochastic pre-cracking can
+      // subdivide them per bound; sub-threshold pieces become edges.
+      const bool too_big_for_three =
+          copts.stochastic_threshold != 0 &&
+          lo.piece.end - lo.piece.begin > copts.stochastic_threshold;
+      const bool below_threshold =
+          copts.min_piece_size > 0 &&
+          lo.piece.end - lo.piece.begin <= copts.min_piece_size;
+      if (lo.exact || hi.exact || lo.piece.begin != hi.piece.begin ||
+          lo.piece.end != hi.piece.end || too_big_for_three ||
+          below_threshold) {
+        return false;
+      }
+      piece = lo.piece;
+    }
+    if (piece.begin == piece.end) {
+      // Empty piece: both cuts realize at its boundary without moving any
+      // values — still one crack-in-three, exactly like the coarse
+      // ResolveBothInPiece (single-threaded stat parity depends on it).
+      // No stripe covers an empty range, so validation and registration
+      // share one exclusive index hold.
+      const std::unique_lock<std::shared_mutex> il(shard.index_latch);
+      const CutLookup<T> lo = shard.column.index().Lookup(lo_cut);
+      const CutLookup<T> hi = shard.column.index().Lookup(hi_cut);
+      if (lo.exact || hi.exact || lo.piece.begin != piece.begin ||
+          lo.piece.end != piece.end || hi.piece.begin != piece.begin ||
+          hi.piece.end != piece.end) {
+        return false;
+      }
+      shard.column.RegisterCut(lo_cut, piece.begin);
+      shard.column.RegisterCut(hi_cut, piece.begin);
+      shard.striped_stats.num_crack_in_three.fetch_add(
+          1, std::memory_order_relaxed);
+      shard.striped_stats.values_touched.fetch_add(
+          CrackInThreeValuesTouched(0, 0, copts.kernel),
+          std::memory_order_relaxed);
+      out->begin = piece.begin;
+      out->end = piece.begin;
+      return true;
+    }
+    const StripeLockSet lock(&shard.stripes,
+                             StripeMask(shard, piece.begin, piece.end),
+                             /*exclusive=*/true);
+    {
+      // Re-validate under the stripes: a racing thread may have cracked the
+      // piece (or realized either cut) in the window. Positions cannot
+      // shift while `structural` is held shared, so boundary equality
+      // identifies the piece.
+      const std::shared_lock<std::shared_mutex> il(shard.index_latch);
+      const CutLookup<T> lo = shard.column.index().Lookup(lo_cut);
+      const CutLookup<T> hi = shard.column.index().Lookup(hi_cut);
+      if (lo.exact || hi.exact || lo.piece.begin != piece.begin ||
+          lo.piece.end != piece.end || hi.piece.begin != piece.begin ||
+          hi.piece.end != piece.end) {
+        return false;
+      }
+    }
+    const ThreeWaySplit split =
+        shard.column.CrackPieceInThreeAt(piece, lo_cut, hi_cut);
+    const std::size_t lower_pos = piece.begin + split.lower_end;
+    const std::size_t upper_pos = piece.begin + split.middle_end;
+    {
+      const std::unique_lock<std::shared_mutex> il(shard.index_latch);
+      shard.column.RegisterCut(lo_cut, lower_pos);
+      shard.column.RegisterCut(hi_cut, upper_pos);
+    }
+    shard.striped_stats.num_crack_in_three.fetch_add(1,
+                                                     std::memory_order_relaxed);
+    shard.striped_stats.values_touched.fetch_add(
+        CrackInThreeValuesTouched(piece.end - piece.begin, split.lower_end,
+                                  copts.kernel),
+        std::memory_order_relaxed);
+    out->begin = lower_pos;
+    out->end = upper_pos;
+    return true;
+  }
+
+  /// Realizes `cut`, cracking its enclosing piece under that piece's
+  /// exclusive stripes; returns the cut position. Sub-threshold pieces are
+  /// recorded as edges instead (coarse-path semantics). The
+  /// lookup -> latch -> re-validate loop terminates because a mismatch can
+  /// only mean the piece was subdivided: the candidate piece strictly
+  /// shrinks every retry.
+  std::size_t StripedResolveCut(Shard& shard, const Cut<T>& cut, bool is_lower,
+                                StripedRange* out) {
+    const CrackerColumnOptions& copts = shard.column.options();
+    for (;;) {
+      PieceInfo<T> piece;
+      {
+        const std::shared_lock<std::shared_mutex> il(shard.index_latch);
+        const CutLookup<T> look = shard.column.index().Lookup(cut);
+        if (look.exact) return look.position;
+        piece = look.piece;
+      }
+      if (copts.min_piece_size > 0 &&
+          piece.end - piece.begin <= copts.min_piece_size) {
+        // Sub-threshold pieces are never cracked (by anyone): record the
+        // whole piece as an edge to filter and exclude it from the core.
+        AddStripedEdge(out, {piece.begin, piece.end});
+        return is_lower ? piece.end : piece.begin;
+      }
+      if (piece.begin == piece.end) {
+        // Empty piece: the cut realizes at its boundary without moving any
+        // values. No stripe covers an empty range, so the validation and
+        // the registration must share one exclusive index hold.
+        const std::unique_lock<std::shared_mutex> il(shard.index_latch);
+        const CutLookup<T> look = shard.column.index().Lookup(cut);
+        if (look.exact) return look.position;
+        if (look.piece.begin != piece.begin || look.piece.end != piece.end) {
+          continue;
+        }
+        shard.column.RegisterCut(cut, piece.begin);
+        shard.striped_stats.num_crack_in_two.fetch_add(
+            1, std::memory_order_relaxed);
+        return piece.begin;
+      }
+      const StripeLockSet lock(&shard.stripes,
+                               StripeMask(shard, piece.begin, piece.end),
+                               /*exclusive=*/true);
+      {
+        const std::shared_lock<std::shared_mutex> il(shard.index_latch);
+        const CutLookup<T> look = shard.column.index().Lookup(cut);
+        if (look.exact) return look.position;
+        if (look.piece.begin != piece.begin || look.piece.end != piece.end) {
+          continue;  // subdivided meanwhile: retry against the smaller piece
+        }
+      }
+      // The piece is validated and exclusively held: no other thread can
+      // permute it or register a cut inside it until the stripes drop.
+      MaybeStochasticPreCrackStriped(shard, cut, &piece);
+      const std::size_t split = shard.column.CrackPieceAt(piece, cut);
+      {
+        const std::unique_lock<std::shared_mutex> il(shard.index_latch);
+        shard.column.RegisterCut(cut, split);
+      }
+      shard.striped_stats.num_crack_in_two.fetch_add(1,
+                                                     std::memory_order_relaxed);
+      shard.striped_stats.values_touched.fetch_add(piece.end - piece.begin,
+                                                   std::memory_order_relaxed);
+      return split;
+    }
+  }
+
+  /// Stochastic pre-cracks under the striped protocol: subdivides an
+  /// oversized piece at random data-driven pivots before the exact crack.
+  /// The caller's exclusive stripes cover the original piece and therefore
+  /// every sub-piece this loop carves, so each RegisterCut is safe under
+  /// the same ownership argument as the exact crack. Narrows `piece` to the
+  /// half still containing the target cut.
+  void MaybeStochasticPreCrackStriped(Shard& shard, const Cut<T>& target,
+                                      PieceInfo<T>* piece) {
+    const CrackerColumnOptions& copts = shard.column.options();
+    if (copts.stochastic_threshold == 0) return;
+    while (piece->end - piece->begin > copts.stochastic_threshold) {
+      const std::size_t span_size = piece->end - piece->begin;
+      std::size_t offset;
+      {
+        const std::lock_guard<std::mutex> rl(shard.rng_latch);
+        offset = shard.rng.NextBounded(span_size);
+      }
+      const T pivot = shard.column.values()[piece->begin + offset];
+      const Cut<T> random_cut{pivot, CutKind::kLess};
+      bool stop = false;
+      {
+        const std::shared_lock<std::shared_mutex> il(shard.index_latch);
+        stop = shard.column.index().Lookup(random_cut).exact ||
+               random_cut == target;
+      }
+      if (stop) break;
+      const std::size_t split = shard.column.CrackPieceAt(*piece, random_cut);
+      {
+        const std::unique_lock<std::shared_mutex> il(shard.index_latch);
+        shard.column.RegisterCut(random_cut, split);
+      }
+      shard.striped_stats.num_stochastic_cracks.fetch_add(
+          1, std::memory_order_relaxed);
+      shard.striped_stats.values_touched.fetch_add(span_size,
+                                                   std::memory_order_relaxed);
+      // All-duplicates (or extreme-pivot) pieces make no progress; stop.
+      const bool no_progress = split == piece->begin || split == piece->end;
+      if (random_cut < target) {
+        piece->begin = split;
+        piece->lower = random_cut;
+      } else {
+        piece->end = split;
+        piece->upper = random_cut;
+      }
+      if (no_progress) break;
+    }
+  }
+
+  static void AddStripedEdge(StripedRange* out, PositionRange edge) {
+    if (edge.empty()) return;
+    AIDX_CHECK(out->num_edges < 2);
+    out->edges[static_cast<std::size_t>(out->num_edges)] = edge;
+    ++out->num_edges;
+  }
+  // ------------------------------------------------------------------------
 
   /// Equi-depth splitters from a value sample; sorted and distinct, so the
   /// effective partition count is splitters.size() + 1 <= num_partitions.

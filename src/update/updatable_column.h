@@ -208,6 +208,25 @@ class UpdatableCrackerColumn : public CrackerColumn<T> {
   /// positions reflect every update the predicate must observe.
   void MergePendingFor(const RangePredicate<T>& pred) { MergeForQuery(pred); }
 
+  /// True when a query with this predicate would fold pending updates —
+  /// i.e. when MergePendingFor(pred) would not be a no-op. The striped
+  /// piece-latch fast path (docs/CONCURRENCY.md §4) uses this as its
+  /// slow-path gate: under kRipple only pending tuples the predicate
+  /// matches force a merge; kComplete and kGradual merge beyond the
+  /// predicate's range, so any pending tuple at all does. Caller-
+  /// synchronized, like every other method.
+  bool NeedsMergeFor(const RangePredicate<T>& pred) const {
+    if (pending_inserts_.empty() && pending_deletes_.empty()) return false;
+    if (options_.policy != MergePolicy::kRipple) return true;
+    const auto matches = [&](const PendingTuple& t) {
+      return pred.Matches(t.value);
+    };
+    return std::any_of(pending_inserts_.begin(), pending_inserts_.end(),
+                       matches) ||
+           std::any_of(pending_deletes_.begin(), pending_deletes_.end(),
+                       matches);
+  }
+
   std::size_t num_pending_inserts() const { return pending_inserts_.size(); }
   std::size_t num_pending_deletes() const { return pending_deletes_.size(); }
   /// Logical tuple count: merged array plus pending inserts minus pending
