@@ -63,6 +63,70 @@ bench::ThroughputResult RunConcurrent(AccessPath<std::int64_t>& path,
   return result;
 }
 
+// Mixed read/write streams for sweep 5: thread t runs `ops_per_thread`
+// operations of which `write_pct`% (evenly spread) are writes landing
+// *inside* the queried domain — alternating insert-new / delete-oldest
+// (FIFO per thread), so pending accumulates between merges and reads
+// genuinely contend with the update pipeline: the striped path answers
+// them from the write buckets (overlay) and absorbs batches in
+// background merges, while the partition mutex merges in the query
+// path. Insert values are spread over the domain by a multiplicative
+// scramble; threads may collide on a value, but each thread deletes
+// only values it inserted earlier, so every delete still claims a live
+// tuple. Read counts race the writers and are interleaving-dependent,
+// so exactness is asserted on the final live tuple count instead,
+// which only depends on the issued op mix.
+bench::ThroughputResult RunWriteMix(AccessPath<std::int64_t>& path,
+                                    const std::vector<Queries>& streams,
+                                    std::size_t threads,
+                                    std::size_t ops_per_thread,
+                                    std::size_t write_pct,
+                                    std::size_t base_rows,
+                                    std::int64_t domain) {
+  struct WriterState {
+    std::vector<std::int64_t> inserted;
+    std::size_t oldest = 0;  // next FIFO delete victim
+    std::size_t write_ops = 0;
+  };
+  std::vector<WriterState> writers(threads);
+  std::atomic<std::uint64_t> counted{0};
+  const auto result = bench::MeasureThroughput(
+      threads, ops_per_thread, [&](std::size_t t, std::size_t q) {
+        const bool is_write =
+            write_pct > 0 && (q * write_pct) % 100 < write_pct;
+        if (is_write) {
+          WriterState& w = writers[t];
+          const bool do_delete =
+              (w.write_ops++ % 2) == 1 && w.oldest < w.inserted.size();
+          if (do_delete) {
+            path.Delete(w.inserted[w.oldest++]);
+          } else {
+            const auto raw = static_cast<std::uint64_t>(
+                w.inserted.size() * kMaxThreads + t);
+            const auto value = static_cast<std::int64_t>(
+                (raw * 0x9E3779B97F4A7C15ull) %
+                static_cast<std::uint64_t>(domain));
+            path.Insert(value);
+            w.inserted.push_back(value);
+          }
+        } else {
+          counted.fetch_add(path.Count(streams[t][q]),
+                            std::memory_order_relaxed);
+        }
+      });
+  std::size_t expected = base_rows;
+  for (const WriterState& w : writers) {
+    expected += w.inserted.size() - w.oldest;
+  }
+  const std::size_t live = path.Count(RangePredicate<std::int64_t>::All());
+  if (live != expected) {
+    std::cerr << "WRITE-MIX EXACTNESS FAILURE: live " << live << " expected "
+              << expected << "\n";
+    std::exit(1);
+  }
+  return result;
+}
+
 std::string Format2(double x) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.2f", x);
@@ -290,6 +354,74 @@ int main(int argc, char** argv) {
   }
   by_stripes.Print(std::cout);
 
+  // Sweep 5: the write-mix axis (docs/CONCURRENCY.md §4, write half).
+  // Same skewed read stream, but a fraction of each thread's operations
+  // become inserts/deletes spread across the queried value range itself,
+  // so reads genuinely contend with the update pipeline. Under
+  // kPartitionMutex every overlapping read merges pending updates in the
+  // query path (and every read rescans the pending stores); the striped
+  // write path parks writes in the per-shard buckets, answers overlapping
+  // reads from the overlay, and absorbs batches in background merges on
+  // the shared pool once the buffered count crosses the threshold.
+  // Exactness is asserted per run on the final live tuple count, which is
+  // interleaving-free (see RunWriteMix).
+  std::cout << "\nthroughput vs write mix (striped-write vs partition-mutex, "
+               "8 partitions, skewed):\n";
+  TablePrinter by_mix(
+      {"write%", "threads", "striped-w ops/s", "mutex ops/s", "ratio"});
+  double write_mix_min_ratio_20 = 0;
+  auto striped_mix_config = StrategyConfig::ParallelCrack(8, /*threads=*/2);
+  striped_mix_config.background_merge_threshold = 64;
+  const auto mutex_mix_config = StrategyConfig::ParallelCrack(
+      8, /*threads=*/2, LatchMode::kPartitionMutex);
+  for (const std::size_t write_pct : {0u, 5u, 20u}) {
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+      double cell_qps[2] = {0, 0};
+      double ratio = 0;
+      // Five repetitions per cell, each running the two modes back-to-back
+      // so the pair shares one scheduler/noise environment: the per-pair
+      // quotient cancels runner drift that a cross-pair ratio would keep.
+      // The cell reports each mode's best throughput and the best paired
+      // ratio.
+      for (int rep = 0; rep < 5; ++rep) {
+        double rep_qps[2] = {0, 0};
+        for (int mode = 0; mode < 2; ++mode) {
+          const auto& config = mode == 0 ? striped_mix_config : mutex_mix_config;
+          const auto path = MakeAccessPath<std::int64_t>(data, config);
+          const auto result = RunWriteMix(
+              *path, skewed, threads, queries_per_thread, write_pct, n,
+              static_cast<std::int64_t>(n / 10));
+          rep_qps[mode] = result.QueriesPerSecond();
+          cell_qps[mode] = std::max(cell_qps[mode], rep_qps[mode]);
+        }
+        if (rep_qps[1] > 0) {
+          ratio = std::max(ratio, rep_qps[0] / rep_qps[1]);
+        }
+      }
+      if (write_pct == 20 &&
+          (write_mix_min_ratio_20 == 0 || ratio < write_mix_min_ratio_20)) {
+        write_mix_min_ratio_20 = ratio;
+      }
+      by_mix.AddRow({std::to_string(write_pct), std::to_string(threads),
+                     std::to_string(static_cast<std::size_t>(cell_qps[0])),
+                     std::to_string(static_cast<std::size_t>(cell_qps[1])),
+                     Format2(ratio) + "x"});
+      csv_rows.push_back({"write_mix_" + std::to_string(write_pct),
+                          std::to_string(threads),
+                          std::to_string(cell_qps[0]),
+                          std::to_string(cell_qps[1])});
+      for (int mode = 0; mode < 2; ++mode) {
+        json.AddRow("write_mix_sweep")
+            .Set("write_pct", write_pct)
+            .Set("threads", threads)
+            .Set("partitions", std::size_t{8})
+            .Set("write_mode", mode == 0 ? "striped-write" : "partition-mutex")
+            .Set("ops_per_s", cell_qps[mode]);
+      }
+    }
+  }
+  by_mix.Print(std::cout);
+
   // The recorded headline the CI gate (scripts/compare_bench.py) checks
   // for presence and shape: striped vs partition-mutex concurrent-select
   // throughput at 8 client threads on the same-partition-skewed stream.
@@ -305,6 +437,16 @@ int main(int argc, char** argv) {
       .Set("striped_at_least_mutex", latch_ratio >= 1.0);
   std::cout << "\nheadline: striped/mutex throughput at 8 threads (skewed) = "
             << Format2(latch_ratio) << "x\n";
+
+  // Second headline: the write-mix axis at 20% writes — the worst measured
+  // striped-write/mutex ratio across the thread sweep must stay >= 1.
+  json.AddRow("headline")
+      .Set("metric", "write_mix_20pct")
+      .Set("write_pct", std::size_t{20})
+      .Set("striped_write_min_ratio", write_mix_min_ratio_20)
+      .Set("striped_write_at_least_mutex", write_mix_min_ratio_20 >= 1.0);
+  std::cout << "headline: worst striped-write/mutex ratio at 20% writes = "
+            << Format2(write_mix_min_ratio_20) << "x\n";
 
   const std::string csv = bench::CsvPath("e11_parallel_scaling.csv");
   if (!csv.empty()) {

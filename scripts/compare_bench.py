@@ -45,6 +45,11 @@ HEADLINE_REQUIREMENTS = {
         # The latch axis itself must be present: at least one recorded row
         # per latch mode (see docs/BENCHMARKS.md, e11).
         ("latch_sweep", "qps", "positive"),
+        # The write-mix axis (striped write path vs partition mutex) and
+        # its own headline: the worst striped-write/mutex ratio at 20%
+        # writes across the thread sweep.
+        ("write_mix_sweep", "ops_per_s", "positive"),
+        ("headline", "striped_write_min_ratio", "positive"),
     ],
 }
 

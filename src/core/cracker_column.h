@@ -275,6 +275,18 @@ class CrackerColumn {
   void RegisterCut(const Cut<T>& cut, std::size_t position) {
     index_.AddCut(cut, position);
   }
+
+  /// Occurrences of `value` inside [range.begin, range.end). The striped
+  /// write path's delete probe counts live occurrences across the resolved
+  /// core and edge pieces with this, under shared stripe latches only — it
+  /// reads, never permutes.
+  std::size_t CountEqualIn(PositionRange range, T value) const {
+    std::size_t hits = 0;
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      hits += values_[i] == value ? 1 : 0;
+    }
+    return hits;
+  }
   // ------------------------------------------------------------------------
 
   std::span<const T> values() const { return values_; }

@@ -88,6 +88,14 @@ struct StrategyConfig {
   // size (clamped to [1, 64]; docs/CONCURRENCY.md §4).
   LatchMode latch_mode = LatchMode::kStripedPiece;
   std::size_t latch_stripes = 16;
+  // kParallelCrack write path: piece-routed striped buffering (default)
+  // or the coarse shard-exclusive baseline, whether the stripe table
+  // grows with realized cuts, and the buffered-write count that triggers
+  // a background merge on the shared pool (0 = foreground-only;
+  // docs/UPDATES.md).
+  WriteMode write_mode = WriteMode::kStripedWrite;
+  bool adaptive_stripes = true;
+  std::size_t background_merge_threshold = 0;
 
   /// Structural equality over every knob — the Database path cache keys on
   /// this, so two configs collide only when they are truly identical.
@@ -165,6 +173,11 @@ struct StrategyConfig {
           name += "-mtx";
         } else if (latch_stripes != 16) {
           name += "-s" + std::to_string(latch_stripes);
+        }
+        if (write_mode == WriteMode::kCoarseWrite) name += "-wc";
+        if (!adaptive_stripes) name += "-fs";
+        if (background_merge_threshold > 0) {
+          name += "-bg" + std::to_string(background_merge_threshold);
         }
         if (min_piece_size > 0) name += "-p" + std::to_string(min_piece_size);
         return name + ")" + kernel_suffix;
@@ -579,6 +592,9 @@ class ParallelCrackPath final : public AccessPath<T> {
       options.gradual_budget = config_.gradual_budget;
       options.latch_mode = config_.latch_mode;
       options.latch_stripes = config_.latch_stripes;
+      options.write_mode = config_.write_mode;
+      options.adaptive_stripes = config_.adaptive_stripes;
+      options.background_merge_threshold = config_.background_merge_threshold;
       column_.emplace(base_, options, pool_.get());
     });
     return *column_;

@@ -34,6 +34,9 @@ std::size_t PathKeyHash::operator()(const PathKey& key) const {
   h = HashCombine(h, static_cast<std::size_t>(c.crack_kernel));
   h = HashCombine(h, static_cast<std::size_t>(c.latch_mode));
   h = HashCombine(h, c.latch_stripes);
+  h = HashCombine(h, static_cast<std::size_t>(c.write_mode));
+  h = HashCombine(h, static_cast<std::size_t>(c.adaptive_stripes));
+  h = HashCombine(h, c.background_merge_threshold);
   return h;
 }
 

@@ -44,23 +44,42 @@
 // single-threaded tools.
 //
 // Writes route to the single partition owning their value (the splitter
-// table is immutable, so routing needs no latch) and queue in that
-// partition's UpdatableCrackerColumn under whole-partition exclusion (the
-// partition mutex, or the structural latch held exclusively); the queued
-// tuple merges adaptively when a later query touches its range. Fresh row
-// ids come from one atomic counter so they stay globally unique across
-// partitions; the live tuple count is likewise an atomic, maintained
-// outside any latch (docs/CONCURRENCY.md §3).
+// table is immutable, so routing needs no latch). Under kPartitionMutex —
+// or kStripedPiece with WriteMode::kCoarseWrite — they queue in that
+// partition's UpdatableCrackerColumn under whole-partition exclusion.
+// Under the default striped write mode they instead take `structural`
+// shared, route to the owning *piece* under that piece's exclusive stripe
+// latches (with the same lookup -> latch -> re-validate retry loop the
+// read path uses on piece subdivision), and land in a per-shard table of
+// mutex-guarded write buckets keyed by value hash; a later exclusive hold
+// drains the buckets into the shard's pending stores. Queries whose range
+// overlaps buffered or pending tuples answer exactly from the shared path
+// by overlaying the matching pending tuples, or fall back to the coarse
+// merge path (docs/CONCURRENCY.md §4).
+//
+// A per-shard background-merge mode machine (Normal -> PrepareToMerge ->
+// Merging -> Merged, modeled on the mode-switching hybrid-index design in
+// SNIPPETS.md) moves pending-update absorption onto the borrowed
+// ThreadPool: when buffered writes cross background_merge_threshold, a
+// task drains and ripple-merges them in short exclusive chunks while
+// readers keep answering from the shared overlay path (docs/UPDATES.md).
+//
+// Fresh row ids come from one atomic counter so they stay globally unique
+// across partitions; the live tuple count is likewise an atomic,
+// maintained outside any latch (docs/CONCURRENCY.md §3).
 #pragma once
 
 #include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "core/cut.h"
@@ -93,6 +112,66 @@ inline const char* LatchModeName(LatchMode mode) {
   return "?";
 }
 
+/// Write-path protocol under kStripedPiece (kPartitionMutex always writes
+/// coarsely).
+enum class WriteMode : char {
+  /// Whole-partition exclusion per write (the PR-5 behavior; differential
+  /// oracle axis for the striped write path).
+  kCoarseWrite,
+  /// Piece-routed writes under `structural` shared + exclusive stripe
+  /// latches, buffered in per-shard write buckets (docs/CONCURRENCY.md §4).
+  kStripedWrite,
+};
+
+inline const char* WriteModeName(WriteMode mode) {
+  switch (mode) {
+    case WriteMode::kCoarseWrite:
+      return "coarse-write";
+    case WriteMode::kStripedWrite:
+      return "striped-write";
+  }
+  return "?";
+}
+
+/// Background-merge state of one shard (SNIPPETS.md mode machine): Normal
+/// until a merge is requested, PrepareToMerge while the merger waits for
+/// in-flight shared-path readers to drain, Merging while pending updates
+/// fold in chunked exclusive holds, Merged for the symmetric exit grace
+/// period, then Normal again. Readers are never blocked by any state —
+/// they answer from the shared overlay path while the machine is off
+/// Normal.
+enum class ShardMergeMode : int {
+  kNormal = 0,
+  kPrepareToMerge,
+  kMerging,
+  kMerged,
+};
+
+inline const char* ShardMergeModeName(ShardMergeMode mode) {
+  switch (mode) {
+    case ShardMergeMode::kNormal:
+      return "normal";
+    case ShardMergeMode::kPrepareToMerge:
+      return "prepare-to-merge";
+    case ShardMergeMode::kMerging:
+      return "merging";
+    case ShardMergeMode::kMerged:
+      return "merged";
+  }
+  return "?";
+}
+
+/// Striped read-path routing counters: how many per-shard reads answered
+/// from the shared fast path (no pending overlap), the shared overlay path
+/// (pending overlap folded into the answer without merging), or the coarse
+/// exclusive path. kStripedPiece only; kPartitionMutex reads count as
+/// coarse.
+struct StripedReadPathStats {
+  std::size_t fast_reads = 0;
+  std::size_t overlay_reads = 0;
+  std::size_t coarse_reads = 0;
+};
+
 /// Tuning knobs for a partitioned cracker column.
 struct PartitionedCrackerOptions {
   /// Requested partition count K. The effective count can be lower when the
@@ -113,6 +192,20 @@ struct PartitionedCrackerOptions {
   /// [1, 64]. More stripes = fewer false conflicts between disjoint pieces,
   /// at a few hundred bytes per partition.
   std::size_t latch_stripes = 16;
+  /// Write-path protocol under kStripedPiece (ignored in kPartitionMutex).
+  WriteMode write_mode = WriteMode::kStripedWrite;
+  /// Grow each shard's *active* stripe count with its realized cut count
+  /// (starting small, doubling up to latch_stripes) instead of hashing into
+  /// the full table from the first query. Latch-table memory is allocated
+  /// at the cap either way; this only tunes the block -> stripe mapping.
+  bool adaptive_stripes = true;
+  /// Buffered writes per shard that trigger a background merge on the
+  /// borrowed pool (0 disables the mode machine; writes then merge on the
+  /// next coarse-path query, the PR-5 behavior).
+  std::size_t background_merge_threshold = 0;
+  /// Pending tuples folded per exclusive hold by a background merge; the
+  /// latch is released (and readers admitted) between chunks.
+  std::size_t background_merge_chunk = 128;
 };
 
 /// One partition's share of a fanned-out Select.
@@ -159,18 +252,30 @@ class PartitionedCrackerColumn {
       per_shard.stochastic_seed += p;  // decorrelate stochastic pivots
       shards_.push_back(std::make_unique<Shard>(std::move(values[p]),
                                                 std::move(row_ids[p]), per_shard,
-                                                options_));
+                                                options_, p));
     }
     next_rid_.store(static_cast<row_id_t>(base.size()), std::memory_order_relaxed);
     live_size_.store(base.size(), std::memory_order_relaxed);
   }
 
+  /// Stops accepting background merges and waits for in-flight ones —
+  /// their tasks capture `this`, so the column must outlive them. Tasks
+  /// observe `shutting_down_` at chunk boundaries and bail early; tasks the
+  /// pool drops unstarted release their completion ticket when the closure
+  /// is destroyed, so this wait terminates under every shutdown order.
+  ~PartitionedCrackerColumn() {
+    shutting_down_.store(true, std::memory_order_release);
+    WaitForBackgroundMerges();
+  }
+
   // Atomic members rule out the defaulted moves; shards are unique_ptrs,
   // so moving transfers them (and the latches inside) untouched. Callers
-  // must not move a column while other threads use it, as everywhere.
+  // must not move a column while other threads use it, as everywhere —
+  // background merge tasks count as users, so moves first drain them (they
+  // capture the old `this`).
   AIDX_DISALLOW_COPY_AND_ASSIGN(PartitionedCrackerColumn);
   PartitionedCrackerColumn(PartitionedCrackerColumn&& other) noexcept
-      : options_(std::move(other.options_)),
+      : options_((other.WaitForBackgroundMerges(), std::move(other.options_))),
         pool_(other.pool_),
         total_size_(other.total_size_),
         splitters_(std::move(other.splitters_)),
@@ -179,6 +284,8 @@ class PartitionedCrackerColumn {
         live_size_(other.live_size_.load(std::memory_order_relaxed)) {}
   PartitionedCrackerColumn& operator=(PartitionedCrackerColumn&& other) noexcept {
     if (this != &other) {
+      WaitForBackgroundMerges();
+      other.WaitForBackgroundMerges();
       options_ = std::move(other.options_);
       pool_ = other.pool_;
       total_size_ = other.total_size_;
@@ -192,16 +299,27 @@ class PartitionedCrackerColumn {
     return *this;
   }
 
-  /// Queues an insert in the partition owning `value` (under whole-partition
-  /// exclusion) and returns the globally unique row id assigned to the
-  /// fresh tuple. The tuple merges into the cracked array when a later
-  /// query needs its range — the same adaptive bargain as the
-  /// single-threaded pipeline. Thread-safe.
+  /// Queues an insert in the partition owning `value` and returns the
+  /// globally unique row id assigned to the fresh tuple. Striped write
+  /// mode routes to the owning piece under `structural` shared plus that
+  /// piece's exclusive stripes and buffers in a write bucket; otherwise the
+  /// insert queues under whole-partition exclusion. Either way the tuple
+  /// merges into the cracked array when a later query needs its range —
+  /// the same adaptive bargain as the single-threaded pipeline.
+  /// Thread-safe.
   row_id_t Insert(T value) {
     const row_id_t rid = next_rid_.fetch_add(1, std::memory_order_relaxed);
     Shard& shard = *shards_[PartitionOf(value)];
-    WithShardExclusive(shard,
-                       [&] { shard.column.InsertWithRid(value, rid); });
+    if (UseStripedWrites()) {
+      {
+        const std::shared_lock<std::shared_mutex> structural(shard.structural);
+        StripedEnqueueInsertLocked(shard, value, rid);
+      }
+      MaybeTriggerBackgroundMerge(shard);
+    } else {
+      WithShardExclusive(shard,
+                         [&] { shard.column.InsertWithRid(value, rid); });
+    }
     live_size_.fetch_add(1, std::memory_order_relaxed);
     return rid;
   }
@@ -222,23 +340,46 @@ class PartitionedCrackerColumn {
     for (std::size_t p = 0; p < groups.size(); ++p) {
       if (groups[p].empty()) continue;
       Shard& shard = *shards_[p];
-      WithShardExclusive(shard, [&] {
-        for (const std::size_t i : groups[p]) {
-          shard.column.InsertWithRid(batch[i],
-                                     first_rid + static_cast<row_id_t>(i));
+      if (UseStripedWrites()) {
+        {
+          const std::shared_lock<std::shared_mutex> structural(shard.structural);
+          for (const std::size_t i : groups[p]) {
+            StripedEnqueueInsertLocked(shard, batch[i],
+                                       first_rid + static_cast<row_id_t>(i));
+          }
         }
-      });
+        MaybeTriggerBackgroundMerge(shard);
+      } else {
+        WithShardExclusive(shard, [&] {
+          for (const std::size_t i : groups[p]) {
+            shard.column.InsertWithRid(batch[i],
+                                       first_rid + static_cast<row_id_t>(i));
+          }
+        });
+      }
     }
     live_size_.fetch_add(batch.size(), std::memory_order_relaxed);
   }
 
-  /// Deletes one live tuple equal to `value` from its owning partition
-  /// (under whole-partition exclusion; the existence probe cracks, which
-  /// is structural work); false when absent. Thread-safe.
+  /// Deletes one live tuple equal to `value` from its owning partition;
+  /// false when absent. Striped write mode runs the existence probe (a
+  /// point resolve, which cracks — a delete is a query here too) under
+  /// `structural` shared and buffers the surviving delete in a write
+  /// bucket; otherwise the whole operation runs under whole-partition
+  /// exclusion. Thread-safe.
   bool Delete(T value) {
     Shard& shard = *shards_[PartitionOf(value)];
-    const bool deleted =
-        WithShardExclusive(shard, [&] { return shard.column.DeleteValue(value); });
+    bool deleted;
+    if (UseStripedWrites()) {
+      {
+        const std::shared_lock<std::shared_mutex> structural(shard.structural);
+        deleted = StripedDeleteLocked(shard, value);
+      }
+      MaybeTriggerBackgroundMerge(shard);
+    } else {
+      deleted = WithShardExclusive(
+          shard, [&] { return shard.column.DeleteValue(value); });
+    }
     if (deleted) live_size_.fetch_sub(1, std::memory_order_relaxed);
     return deleted;
   }
@@ -253,11 +394,21 @@ class PartitionedCrackerColumn {
     for (std::size_t p = 0; p < groups.size(); ++p) {
       if (groups[p].empty()) continue;
       Shard& shard = *shards_[p];
-      WithShardExclusive(shard, [&] {
-        for (const std::size_t i : groups[p]) {
-          deleted += shard.column.DeleteValue(batch[i]) ? 1 : 0;
+      if (UseStripedWrites()) {
+        {
+          const std::shared_lock<std::shared_mutex> structural(shard.structural);
+          for (const std::size_t i : groups[p]) {
+            deleted += StripedDeleteLocked(shard, batch[i]) ? 1 : 0;
+          }
         }
-      });
+        MaybeTriggerBackgroundMerge(shard);
+      } else {
+        WithShardExclusive(shard, [&] {
+          for (const std::size_t i : groups[p]) {
+            deleted += shard.column.DeleteValue(batch[i]) ? 1 : 0;
+          }
+        });
+      }
     }
     live_size_.fetch_sub(deleted, std::memory_order_relaxed);
     return deleted;
@@ -344,6 +495,7 @@ class PartitionedCrackerColumn {
     ForEachOverlapping(first, last, [&](std::size_t p, std::size_t slot) {
       Shard& shard = *shards_[p];
       WithShardExclusive(shard, [&] {
+        DrainStripedPending(shard);
         shard.column.MergePendingFor(pred);
         out.partitions[slot] = {p, shard.column.Select(pred)};
       });
@@ -377,7 +529,11 @@ class PartitionedCrackerColumn {
     return total;
   }
 
-  /// Sum of all partitions' update-pipeline counters. Thread-safe.
+  /// Sum of all partitions' update-pipeline counters, including writes
+  /// still buffered in the striped write buckets (queue-side counters live
+  /// in shard atomics; merge-side counters live in the inner columns, and
+  /// adopting a bucket tuple into a pending store never re-counts it).
+  /// Thread-safe.
   UpdateStats AggregatedUpdateStats() const {
     UpdateStats total;
     for (const auto& shard : shards_) {
@@ -390,17 +546,130 @@ class PartitionedCrackerColumn {
         total.deletes_merged += s.deletes_merged;
         total.ripple_element_moves += s.ripple_element_moves;
       });
+      total.inserts_queued +=
+          shard->striped_inserts_queued.load(std::memory_order_relaxed);
+      total.deletes_queued +=
+          shard->striped_deletes_queued.load(std::memory_order_relaxed);
+      total.deletes_cancelled +=
+          shard->striped_deletes_cancelled.load(std::memory_order_relaxed);
     }
     return total;
   }
+
+  /// Sum of all partitions' striped read-path routing counters. Thread-safe
+  /// (relaxed counter sums).
+  StripedReadPathStats AggregatedReadPathStats() const {
+    StripedReadPathStats total;
+    for (const auto& shard : shards_) {
+      total.fast_reads +=
+          shard->fast_reads.load(std::memory_order_relaxed);
+      total.overlay_reads +=
+          shard->overlay_reads.load(std::memory_order_relaxed);
+      total.coarse_reads +=
+          shard->coarse_reads.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // -- Background-merge mode machine (docs/UPDATES.md) ---------------------
+
+  /// Asks the borrowed pool to absorb partition `p`'s buffered and pending
+  /// updates off the query path. Returns false (and changes nothing) when
+  /// the machine cannot run: no pool / no pool workers / kPartitionMutex /
+  /// shutting down / the shard is already off Normal. Thread-safe; the
+  /// write path calls this automatically once buffered writes cross
+  /// background_merge_threshold.
+  bool RequestBackgroundMerge(std::size_t p) {
+    AIDX_CHECK(p < shards_.size());
+    if (pool_ == nullptr || pool_->num_threads() == 0) return false;
+    if (options_.latch_mode != LatchMode::kStripedPiece) return false;
+    if (shutting_down_.load(std::memory_order_acquire)) return false;
+    Shard& shard = *shards_[p];
+    int expected = static_cast<int>(ShardMergeMode::kNormal);
+    if (!shard.mode.compare_exchange_strong(
+            expected, static_cast<int>(ShardMergeMode::kPrepareToMerge),
+            std::memory_order_acq_rel)) {
+      return false;  // a merge is already in flight for this shard
+    }
+    background_tasks_.fetch_add(1, std::memory_order_acq_rel);
+    // The ticket's destructor releases the task slot, so a closure the pool
+    // drops unstarted at shutdown still unblocks WaitForBackgroundMerges.
+    auto ticket = std::shared_ptr<void>(
+        static_cast<void*>(nullptr), [this](void*) {
+          background_tasks_.fetch_sub(1, std::memory_order_acq_rel);
+        });
+    if (!pool_->TrySubmit([this, p, ticket] { RunBackgroundMerge(p); })) {
+      shard.mode.store(static_cast<int>(ShardMergeMode::kNormal),
+                       std::memory_order_release);
+      return false;
+    }
+    return true;
+  }
+
+  /// Blocks until no background merge task is queued or running. Callers
+  /// that assert on post-merge state (tests, FlushPending) use this to make
+  /// the machine quiescent.
+  void WaitForBackgroundMerges() const {
+    while (background_tasks_.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+  }
+
+  /// Foreground drain: waits out background merges, then folds every
+  /// buffered and pending update of every partition. Afterwards all
+  /// pending stores are empty and queries take the fast path until the
+  /// next write. Thread-safe.
+  void FlushPending() {
+    WaitForBackgroundMerges();
+    for (const auto& shard : shards_) {
+      WithShardExclusive(*shard, [&] {
+        MaybeGrowStripes(*shard);
+        DrainStripedPending(*shard);
+        shard->column.MergePendingFor(RangePredicate<T>::All());
+      });
+    }
+  }
+
+  /// Partition p's current mode-machine state. Thread-safe (atomic load);
+  /// the state can change the moment this returns.
+  ShardMergeMode shard_mode(std::size_t p) const {
+    AIDX_CHECK(p < shards_.size());
+    return static_cast<ShardMergeMode>(
+        shards_[p]->mode.load(std::memory_order_acquire));
+  }
+
+  /// Updates not yet folded into any cracked array: striped write-bucket
+  /// tuples plus the per-partition pending stores. Thread-safe, but exact
+  /// only when no writer or merger is concurrently in flight.
+  std::size_t pending_update_count() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      WithShardExclusive(*shard, [&] {
+        total += shard->column.num_pending_inserts() +
+                 shard->column.num_pending_deletes();
+      });
+      total += shard->buffered_writes.load(std::memory_order_acquire);
+    }
+    return total;
+  }
+  // ------------------------------------------------------------------------
 
   /// Current live tuple count (base minus deletes plus inserts, including
   /// still-pending ones). Thread-safe.
   std::size_t size() const { return live_size_.load(std::memory_order_relaxed); }
   std::size_t num_partitions() const { return shards_.size(); }
-  /// Effective stripe-latch table size per partition (1 in kPartitionMutex
-  /// mode; the clamped latch_stripes option otherwise).
+  /// Stripe-latch table capacity per partition (1 in kPartitionMutex mode;
+  /// the clamped latch_stripes option otherwise).
   std::size_t latch_stripes() const { return shards_.front()->stripes.size(); }
+  /// Partition p's *active* stripe count — how many of the allocated
+  /// stripes the block hash currently maps to. Starts small and doubles
+  /// with realized cuts under adaptive_stripes; pinned at the capacity
+  /// otherwise. Thread-safe.
+  std::size_t active_stripes(std::size_t p) const {
+    AIDX_CHECK(p < shards_.size());
+    const std::shared_lock<std::shared_mutex> guard(shards_[p]->structural);
+    return shards_[p]->active_stripes;
+  }
   /// Partition p holds values v with splitters()[p-1] <= v < splitters()[p]
   /// (unbounded at the extremes). Immutable after construction.
   std::span<const T> splitters() const { return splitters_; }
@@ -423,12 +692,27 @@ class PartitionedCrackerColumn {
     bool ok = true;
     for (std::size_t p = 0; p < shards_.size(); ++p) {
       WithShardExclusive(*shards_[p], [&] {
-        const UpdatableCrackerColumn<T>& column = shards_[p]->column;
+        Shard& shard = *shards_[p];
+        const UpdatableCrackerColumn<T>& column = shard.column;
         if (!column.Validate()) {
           ok = false;
           return;
         }
-        live_seen += column.live_size();
+        std::size_t shard_live = column.live_size();
+        for (WriteBucket& bucket : shard.write_buckets) {
+          const std::lock_guard<std::mutex> bl(bucket.mu);
+          // Buffered deletes claim tuples that are still physically live
+          // (in the array or a pending store), so this never underflows.
+          shard_live += bucket.inserts.size();
+          shard_live -= bucket.deletes.size();
+          for (const StripedPendingTuple& t : bucket.inserts) {
+            if (PartitionOf(t.value) != p) ok = false;
+          }
+          for (const StripedPendingTuple& t : bucket.deletes) {
+            if (PartitionOf(t.value) != p) ok = false;
+          }
+        }
+        live_seen += shard_live;
         for (const T v : column.values()) {
           if (p > 0 && v < splitters_[p - 1]) ok = false;
           if (p < splitters_.size() && !(v < splitters_[p])) ok = false;
@@ -447,6 +731,34 @@ class PartitionedCrackerColumn {
   /// in distinct blocks, while a huge early piece simply covers every
   /// stripe (equivalent to whole-partition exclusion — which it is).
   static constexpr std::size_t kStripeBlockShift = 8;
+  /// Initial active stripe count under adaptive_stripes: a nearly uncracked
+  /// shard has few pieces, so a few wide stripes conflict no more than many
+  /// narrow ones and cost fewer latch acquisitions per piece.
+  static constexpr std::size_t kInitialActiveStripes = 4;
+  /// Per-shard slots for the free-status registry (threads hash into one).
+  static constexpr std::size_t kFreeStatusSlots = 32;
+  /// Hard ceiling on chunked exclusive holds per background merge run, so
+  /// sustained writer pressure hands the remainder to the next trigger
+  /// instead of pinning a pool worker forever.
+  static constexpr std::size_t kMaxBackgroundRounds = 1 << 16;
+
+  /// A buffered striped-path write (rid is kPendingNoRid for deletes).
+  struct StripedPendingTuple {
+    T value;
+    row_id_t rid;
+  };
+
+  /// One mutex-guarded segment of a shard's striped write buffer. Writes
+  /// hash to a bucket by *value*, so the bucket a tuple lands in is stable
+  /// across piece subdivision and same-value insert/delete pairs always
+  /// meet (and cancel) in the same bucket. Bucket mutexes are leaves of
+  /// the latch order: acquired under `structural` (any polarity), possibly
+  /// under stripe latches, and nothing is acquired while one is held.
+  struct WriteBucket {
+    mutable std::mutex mu;
+    std::vector<StripedPendingTuple> inserts;
+    std::vector<StripedPendingTuple> deletes;
+  };
 
   /// Fast-path work counters (kStripedPiece). Relaxed atomics: bumped under
   /// shared latches, aggregated into CrackerStats by AggregatedStats.
@@ -460,11 +772,18 @@ class PartitionedCrackerColumn {
 
   struct Shard {
     Shard(std::vector<T> values, std::vector<row_id_t> row_ids,
-          const CrackerColumnOptions& opts, const PartitionedCrackerOptions& parent)
+          const CrackerColumnOptions& opts, const PartitionedCrackerOptions& parent,
+          std::size_t self_index)
         : stripes(parent.latch_mode == LatchMode::kStripedPiece
                       ? std::clamp<std::size_t>(parent.latch_stripes, 1,
                                                 kMaxLatchStripes)
                       : 1),
+          write_buckets(stripes.size()),
+          active_stripes(parent.latch_mode == LatchMode::kStripedPiece &&
+                                 parent.adaptive_stripes
+                             ? std::min(kInitialActiveStripes, stripes.size())
+                             : stripes.size()),
+          index(self_index),
           // Same seed as the inner column's stochastic rng: single-threaded
           // pure-query runs then pick identical pivots in both latch modes,
           // which is what pins the differential stat-parity tests.
@@ -481,26 +800,125 @@ class PartitionedCrackerColumn {
     mutable std::mutex latch;
 
     // kStripedPiece (docs/CONCURRENCY.md §4). Latch order: structural ->
-    // stripes (ascending) -> index_latch; rng_latch is a leaf.
+    // stripes (ascending) -> {index_latch | write-bucket mu | rng_latch},
+    // the three leaves (nothing is acquired while holding any of them).
     //
     // `structural`: shared by every query that relies on realized cut
-    // positions staying put and the arrays staying the same size; exclusive
-    // by everything that breaks that — pending-update merges, writes (which
-    // mutate the pending stores), and the wholesale slow path.
+    // positions staying put and the arrays staying the same size, and by
+    // striped writes (which mutate only the write buckets); exclusive by
+    // everything that breaks those invariants — pending-update merges,
+    // bucket drains, stripe-count growth, and the wholesale slow path.
     mutable std::shared_mutex structural;
     // One reader-writer latch per stripe; a piece holds the stripes its
     // position blocks hash to — shared to read values, exclusive to
-    // permute them.
+    // permute them (reads) or to serialize piece-routed writes.
     mutable std::vector<std::shared_mutex> stripes;
     // Guards the cracker index: shared for lookups, exclusive to register
-    // cuts. Maximum level in the latch order: nothing is acquired while
-    // holding it.
+    // cuts.
     mutable std::shared_mutex index_latch;
     mutable std::mutex rng_latch;  // stochastic pivots on the fast path
     StripedShardStats striped_stats;
+
+    // -- Striped write path --------------------------------------------------
+    mutable std::vector<WriteBucket> write_buckets;
+    // Total tuples across this shard's buckets; a cheap zero probe for the
+    // read path and the background-merge trigger.
+    std::atomic<std::size_t> buffered_writes{0};
+    // Conservative value bounds over every buffered tuple (inserts and
+    // queued deletes): widened before the buffered_writes bump at enqueue
+    // (the bump's release publishes them), reset only when the buckets
+    // drain under exclusion. Reads whose predicate misses [min, max]
+    // dismiss the whole buffer with two relaxed loads instead of walking
+    // every bucket mutex.
+    std::atomic<T> buffered_min{std::numeric_limits<T>::max()};
+    std::atomic<T> buffered_max{std::numeric_limits<T>::lowest()};
+    // Queue-side update counters for buffered writes (the merge-side
+    // counters accrue in `column` when the tuples are adopted and merged).
+    std::atomic<std::size_t> striped_inserts_queued{0};
+    std::atomic<std::size_t> striped_deletes_queued{0};
+    std::atomic<std::size_t> striped_deletes_cancelled{0};
+    // Read-path routing counters (docs/CONCURRENCY.md §4).
+    std::atomic<std::size_t> fast_reads{0};
+    std::atomic<std::size_t> overlay_reads{0};
+    std::atomic<std::size_t> coarse_reads{0};
+
+    // -- Background-merge mode machine (docs/UPDATES.md) ---------------------
+    std::atomic<int> mode{static_cast<int>(ShardMergeMode::kNormal)};
+    // Shared-path readers bump their slot while inside `structural` shared;
+    // the merger's grace waits observe every slot at zero once before and
+    // after the Merging window (advisory pacing — correctness comes from
+    // the latches; see docs/CONCURRENCY.md §4).
+    mutable std::array<std::atomic<int>, kFreeStatusSlots> free_status{};
+
+    // -- Adaptive striping ---------------------------------------------------
+    // Guarded by `structural` (read shared, written exclusive). Growth only
+    // happens under structural exclusive, when no thread can hold a stripe
+    // latch, so the block -> stripe mapping never changes under a holder.
+    std::size_t active_stripes;
+    // Relaxed mirror of the index's cut count, bumped at striped-path cut
+    // registration and re-synced on every exclusive hold; lets the shared
+    // path decide cheaply whether growth is worth attempting.
+    std::atomic<std::size_t> realized_cuts{0};
+
+    const std::size_t index;  // own partition number (for merge requests)
     Rng rng;
     UpdatableCrackerColumn<T> column;
   };
+
+  /// RAII slot registration in a shard's free-status table: constructed by
+  /// every shared-path read while it holds `structural` shared.
+  class FreeStatusGuard {
+   public:
+    explicit FreeStatusGuard(const Shard& shard)
+        : slot_(&shard.free_status[SlotOfThisThread()]) {
+      slot_->fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~FreeStatusGuard() { slot_->fetch_sub(1, std::memory_order_release); }
+    AIDX_DISALLOW_COPY_AND_ASSIGN(FreeStatusGuard);
+
+   private:
+    static std::size_t SlotOfThisThread() {
+      // Hashing a thread::id is not free; every shared-path read takes a
+      // guard, so the slot is computed once per thread.
+      static const thread_local std::size_t slot =
+          std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+          kFreeStatusSlots;
+      return slot;
+    }
+    std::atomic<int>* slot_;
+  };
+
+  /// True when `pred` can match some value in [lo, hi] — the buffered-write
+  /// bounds filter. Exact interval arithmetic, conservative only through
+  /// its inputs (the bounds never shrink on cancellation).
+  static bool PredicateTouchesRange(const RangePredicate<T>& pred, T lo, T hi) {
+    if (lo > hi) return false;  // empty bounds: nothing buffered since reset
+    if (pred.low_kind != BoundKind::kUnbounded &&
+        (pred.low > hi ||
+         (pred.low_kind == BoundKind::kExclusive && pred.low >= hi))) {
+      return false;
+    }
+    if (pred.high_kind != BoundKind::kUnbounded &&
+        (pred.high < lo ||
+         (pred.high_kind == BoundKind::kExclusive && pred.high <= lo))) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Widens a shard's buffered-value bounds to cover `value`. Called before
+  /// the buffered_writes bump whose release ordering publishes the widened
+  /// bounds to any reader that observes the new count.
+  static void WidenBufferedBounds(Shard& shard, T value) {
+    T lo = shard.buffered_min.load(std::memory_order_relaxed);
+    while (value < lo && !shard.buffered_min.compare_exchange_weak(
+                             lo, value, std::memory_order_relaxed)) {
+    }
+    T hi = shard.buffered_max.load(std::memory_order_relaxed);
+    while (value > hi && !shard.buffered_max.compare_exchange_weak(
+                             hi, value, std::memory_order_relaxed)) {
+    }
+  }
 
   /// RAII over one ordered acquisition of a stripe mask. Bits are acquired
   /// in ascending stripe order — with at most one mask held per thread this
@@ -547,18 +965,23 @@ class PartitionedCrackerColumn {
     int num_edges = 0;
   };
 
+  /// Blocks hash into the *active* stripe prefix, not the full table. The
+  /// active count only changes under `structural` exclusive — when nobody
+  /// holds a stripe latch — so every latch set acquired under one
+  /// `structural` shared hold uses one consistent mapping (callers hold
+  /// `structural` whenever they call this).
   std::size_t StripeOf(const Shard& shard, std::size_t block) const {
     return static_cast<std::size_t>((block * 0x9E3779B97F4A7C15ULL) %
-                                    shard.stripes.size());
+                                    shard.active_stripes);
   }
 
   /// Stripe mask covering the position range [begin, end): the hash of
-  /// every overlapped block, or all stripes when the range spans at least
-  /// one block per stripe.
+  /// every overlapped block, or all active stripes when the range spans at
+  /// least one block per stripe.
   std::uint64_t StripeMask(const Shard& shard, std::size_t begin,
                            std::size_t end) const {
     if (begin >= end) return 0;
-    const std::size_t n = shard.stripes.size();
+    const std::size_t n = shard.active_stripes;
     const std::size_t first = begin >> kStripeBlockShift;
     const std::size_t last = (end - 1) >> kStripeBlockShift;
     if (last - first + 1 >= n) {
@@ -585,27 +1008,122 @@ class PartitionedCrackerColumn {
     return fn();
   }
 
+  /// Pred-matching pending updates visible to one shared-path read: the
+  /// shard's internal pending stores (stable under `structural` shared)
+  /// plus its write buckets, snapshotted under their mutexes. Every delete
+  /// is value-addressed (the partitioned write surface has no rid deletes)
+  /// and claims exactly one live matching tuple, so overlaying a snapshot
+  /// onto the cracked-array result is exact.
+  struct PendingOverlay {
+    std::vector<StripedPendingTuple> inserts;
+    std::vector<T> deletes;
+  };
+
+  /// True when some buffered or pending update matches `pred` — the gate
+  /// between the shared fast path and the overlay/coarse paths. Caller
+  /// holds `structural` shared; bucket scans take the bucket mutexes.
+  bool PendingOverlaps(const Shard& shard, const RangePredicate<T>& pred) const {
+    if (shard.column.NeedsMergeFor(pred)) return true;
+    if (shard.buffered_writes.load(std::memory_order_acquire) == 0) {
+      return false;
+    }
+    // Range filter before any bucket mutex: the bounds were published by
+    // the buffered_writes bump we just observed, and they only widen
+    // between drains, so a miss here is definitive.
+    if (!PredicateTouchesRange(
+            pred, shard.buffered_min.load(std::memory_order_relaxed),
+            shard.buffered_max.load(std::memory_order_relaxed))) {
+      return false;
+    }
+    for (const WriteBucket& bucket : shard.write_buckets) {
+      const std::lock_guard<std::mutex> bl(bucket.mu);
+      for (const StripedPendingTuple& t : bucket.inserts) {
+        if (pred.Matches(t.value)) return true;
+      }
+      for (const StripedPendingTuple& t : bucket.deletes) {
+        if (pred.Matches(t.value)) return true;
+      }
+    }
+    return false;
+  }
+
+  /// Snapshot of every pred-matching pending update. Caller holds
+  /// `structural` shared; the snapshot is the read's linearization point
+  /// (writes landing later order after the query).
+  PendingOverlay CollectMatchingPending(const Shard& shard,
+                                        const RangePredicate<T>& pred) const {
+    PendingOverlay out;
+    shard.column.ForEachPendingInsert([&](T v, row_id_t rid) {
+      if (pred.Matches(v)) out.inserts.push_back({v, rid});
+    });
+    shard.column.ForEachPendingDelete([&](T v, row_id_t) {
+      if (pred.Matches(v)) out.deletes.push_back(v);
+    });
+    for (const WriteBucket& bucket : shard.write_buckets) {
+      const std::lock_guard<std::mutex> bl(bucket.mu);
+      for (const StripedPendingTuple& t : bucket.inserts) {
+        if (pred.Matches(t.value)) out.inserts.push_back(t);
+      }
+      for (const StripedPendingTuple& t : bucket.deletes) {
+        if (pred.Matches(t.value)) out.deletes.push_back(t.value);
+      }
+    }
+    return out;
+  }
+
   /// The striped read protocol's one skeleton, shared by Count/Sum/
-  /// Materialize*: whole-partition exclusion + `coarse` in kPartitionMutex
-  /// mode; otherwise gate on NeedsMergeFor under `structural` shared
-  /// (pending stores only change under `structural` exclusive, so the probe
-  /// is race-free), run `fast(resolved range)` under the shared stripe
-  /// masks of the edges — plus the core when `core_needs_values` (Count's
-  /// core is membership-only: bounded by realized cuts, which concurrent
-  /// cracks never move, so it needs no value reads and no stripes) — or
-  /// fall back to `coarse` under `structural` exclusive when pending
-  /// updates must fold into this predicate's range first.
-  template <typename FastFn, typename CoarseFn>
+  /// Materialize*. kPartitionMutex: whole-partition exclusion + `coarse`.
+  /// kStripedPiece, under `structural` shared:
+  ///
+  ///  - no pending update matches `pred` (PendingOverlaps): run
+  ///    `fast(resolved range)` under the shared stripe masks of the edges —
+  ///    plus the core when `core_needs_values` (Count's core is
+  ///    membership-only: bounded by realized cuts, which concurrent cracks
+  ///    never move, so it needs no value reads and no stripes);
+  ///  - pending updates match but the shard is mid-background-merge (mode
+  ///    off Normal) or background merging is enabled: stay on the shared
+  ///    path and run `overlay(range, snapshot)` — the answer folds the
+  ///    matching pending tuples without physically merging, so readers are
+  ///    never blocked by the mode machine (requesting a merge on the way);
+  ///  - otherwise fall back to `coarse` under `structural` exclusive, which
+  ///    first drains the write buckets so the inner column's policy merge
+  ///    sees every buffered update.
+  ///
+  /// All three callables must return the same type; Materialize callers
+  /// return a dummy value. After a shared-path read, opportunistically
+  /// grows the active stripe count when realized cuts have outrun it.
+  template <typename FastFn, typename OverlayFn, typename CoarseFn>
   auto StripedReadOrCoarse(Shard& shard, const RangePredicate<T>& pred,
                            bool core_needs_values, FastFn&& fast,
-                           CoarseFn&& coarse) {
+                           OverlayFn&& overlay, CoarseFn&& coarse) {
     if (options_.latch_mode == LatchMode::kPartitionMutex) {
       const std::lock_guard<std::mutex> guard(shard.latch);
       return coarse();
     }
+    using Result = decltype(coarse());
+    Result result{};
+    bool answered = false;
+    bool grow_hint = false;
     {
       const std::shared_lock<std::shared_mutex> structural(shard.structural);
-      if (!shard.column.NeedsMergeFor(pred)) {
+      const FreeStatusGuard busy(shard);
+      const bool overlaps = PendingOverlaps(shard, pred);
+      const auto mode = static_cast<ShardMergeMode>(
+          shard.mode.load(std::memory_order_acquire));
+      const bool background_capable =
+          pool_ != nullptr && pool_->num_threads() > 0 &&
+          options_.background_merge_threshold > 0;
+      if (!overlaps || mode != ShardMergeMode::kNormal || background_capable) {
+        PendingOverlay pending;
+        if (overlaps) {
+          if (mode == ShardMergeMode::kNormal) {
+            RequestBackgroundMerge(shard.index);
+          }
+          shard.overlay_reads.fetch_add(1, std::memory_order_relaxed);
+          pending = CollectMatchingPending(shard, pred);
+        } else {
+          shard.fast_reads.fetch_add(1, std::memory_order_relaxed);
+        }
         const StripedRange r = StripedResolve(shard, pred);
         std::uint64_t mask =
             core_needs_values ? StripeMask(shard, r.begin, r.end) : 0;
@@ -613,36 +1131,57 @@ class PartitionedCrackerColumn {
           mask |= StripeMask(shard, r.edges[i].begin, r.edges[i].end);
         }
         const StripeLockSet lock(&shard.stripes, mask, /*exclusive=*/false);
-        return fast(r);
+        result = overlaps ? overlay(r, pending) : fast(r);
+        answered = true;
+        grow_hint = StripeGrowthDue(shard);
       }
     }
+    if (answered) {
+      if (grow_hint) TryGrowStripes(shard);
+      return result;
+    }
     const std::unique_lock<std::shared_mutex> structural(shard.structural);
+    shard.coarse_reads.fetch_add(1, std::memory_order_relaxed);
+    MaybeGrowStripes(shard);
+    DrainStripedPending(shard);
     return coarse();
   }
 
   std::size_t CountShard(Shard& shard, const RangePredicate<T>& pred) {
+    const auto fast = [&](const StripedRange& r) {
+      std::size_t count = r.end - r.begin;
+      for (int i = 0; i < r.num_edges; ++i) {
+        count += ScanCount<T>(ShardValuesIn(shard, r.edges[i]), pred);
+      }
+      return count;
+    };
     return StripedReadOrCoarse(
-        shard, pred, /*core_needs_values=*/false,
-        [&](const StripedRange& r) {
-          std::size_t count = r.end - r.begin;
-          for (int i = 0; i < r.num_edges; ++i) {
-            count += ScanCount<T>(ShardValuesIn(shard, r.edges[i]), pred);
-          }
-          return count;
+        shard, pred, /*core_needs_values=*/false, fast,
+        [&](const StripedRange& r, const PendingOverlay& pending) {
+          // Every matching pending delete claims one live matching tuple
+          // that is still counted (in the array or as a pending insert),
+          // so the subtraction never underflows.
+          return fast(r) + pending.inserts.size() - pending.deletes.size();
         },
         [&] { return shard.column.Count(pred); });
   }
 
   long double SumShard(Shard& shard, const RangePredicate<T>& pred) {
+    const auto fast = [&](const StripedRange& r) {
+      const std::span<const T> values = shard.column.values();
+      long double sum = 0;
+      for (std::size_t i = r.begin; i < r.end; ++i) sum += values[i];
+      for (int i = 0; i < r.num_edges; ++i) {
+        sum += ScanSum<T>(ShardValuesIn(shard, r.edges[i]), pred);
+      }
+      return sum;
+    };
     return StripedReadOrCoarse(
-        shard, pred, /*core_needs_values=*/true,
-        [&](const StripedRange& r) {
-          const std::span<const T> values = shard.column.values();
-          long double sum = 0;
-          for (std::size_t i = r.begin; i < r.end; ++i) sum += values[i];
-          for (int i = 0; i < r.num_edges; ++i) {
-            sum += ScanSum<T>(ShardValuesIn(shard, r.edges[i]), pred);
-          }
+        shard, pred, /*core_needs_values=*/true, fast,
+        [&](const StripedRange& r, const PendingOverlay& pending) {
+          long double sum = fast(r);
+          for (const StripedPendingTuple& t : pending.inserts) sum += t.value;
+          for (const T v : pending.deletes) sum -= v;
           return sum;
         },
         [&] { return shard.column.Sum(pred); });
@@ -650,21 +1189,42 @@ class PartitionedCrackerColumn {
 
   void MaterializeShardValues(Shard& shard, const RangePredicate<T>& pred,
                               std::vector<T>* out) {
+    const auto fast = [&](const StripedRange& r) {
+      const std::span<const T> values = shard.column.values();
+      out->insert(out->end(),
+                  values.begin() + static_cast<std::ptrdiff_t>(r.begin),
+                  values.begin() + static_cast<std::ptrdiff_t>(r.end));
+      for (int i = 0; i < r.num_edges; ++i) {
+        ScanValues<T>(ShardValuesIn(shard, r.edges[i]), pred, out);
+      }
+      return true;  // Materialize results travel via `out`
+    };
     StripedReadOrCoarse(
-        shard, pred, /*core_needs_values=*/true,
-        [&](const StripedRange& r) {
-          const std::span<const T> values = shard.column.values();
-          out->insert(out->end(),
-                      values.begin() + static_cast<std::ptrdiff_t>(r.begin),
-                      values.begin() + static_cast<std::ptrdiff_t>(r.end));
-          for (int i = 0; i < r.num_edges; ++i) {
-            ScanValues<T>(ShardValuesIn(shard, r.edges[i]), pred, out);
+        shard, pred, /*core_needs_values=*/true, fast,
+        [&](const StripedRange& r, const PendingOverlay& pending) {
+          const std::size_t start = out->size();
+          fast(r);
+          for (const StripedPendingTuple& t : pending.inserts) {
+            out->push_back(t.value);
           }
+          // Each matching delete claims one occurrence of its value; which
+          // physical tuple it claims is unobservable in a value result.
+          for (const T v : pending.deletes) {
+            for (std::size_t i = out->size(); i-- > start;) {
+              if ((*out)[i] == v) {
+                (*out)[i] = out->back();
+                out->pop_back();
+                break;
+              }
+            }
+          }
+          return true;
         },
         [&] {
           shard.column.MergePendingFor(pred);
           const CrackSelect sel = shard.column.Select(pred);
           shard.column.MaterializeValues(sel, pred, out);
+          return true;
         });
   }
 
@@ -683,11 +1243,48 @@ class PartitionedCrackerColumn {
               if (pred.Matches(values[p])) out->push_back(rids[p]);
             }
           }
+          return true;
+        },
+        [&](const StripedRange& r, const PendingOverlay& pending) {
+          // Row ids force value-aware claiming: walk the array, letting
+          // each matching pending delete swallow one tuple of its value
+          // (an arbitrary occurrence — multiset semantics), then append
+          // the surviving pending-insert rids.
+          const std::span<const T> values = shard.column.values();
+          const std::span<const row_id_t> rids = shard.column.row_ids();
+          std::vector<T> deletes = pending.deletes;
+          const auto claims = [&](T v) {
+            for (std::size_t j = 0; j < deletes.size(); ++j) {
+              if (deletes[j] == v) {
+                deletes[j] = deletes.back();
+                deletes.pop_back();
+                return true;
+              }
+            }
+            return false;
+          };
+          for (std::size_t p = r.begin; p < r.end; ++p) {
+            if (!deletes.empty() && claims(values[p])) continue;
+            out->push_back(rids[p]);
+          }
+          for (int i = 0; i < r.num_edges; ++i) {
+            for (std::size_t p = r.edges[i].begin; p < r.edges[i].end; ++p) {
+              if (!pred.Matches(values[p])) continue;
+              if (!deletes.empty() && claims(values[p])) continue;
+              out->push_back(rids[p]);
+            }
+          }
+          for (const StripedPendingTuple& t : pending.inserts) {
+            if (!deletes.empty() && claims(t.value)) continue;
+            out->push_back(t.rid);
+          }
+          return true;
         },
         [&] {
           shard.column.MergePendingFor(pred);
           const CrackSelect sel = shard.column.Select(pred);
           shard.column.MaterializeRowIds(sel, pred, out);
+          return true;
         });
   }
 
@@ -768,6 +1365,7 @@ class PartitionedCrackerColumn {
       }
       shard.column.RegisterCut(lo_cut, piece.begin);
       shard.column.RegisterCut(hi_cut, piece.begin);
+      shard.realized_cuts.fetch_add(2, std::memory_order_relaxed);
       shard.striped_stats.num_crack_in_three.fetch_add(
           1, std::memory_order_relaxed);
       shard.striped_stats.values_touched.fetch_add(
@@ -803,6 +1401,7 @@ class PartitionedCrackerColumn {
       shard.column.RegisterCut(lo_cut, lower_pos);
       shard.column.RegisterCut(hi_cut, upper_pos);
     }
+    shard.realized_cuts.fetch_add(2, std::memory_order_relaxed);
     shard.striped_stats.num_crack_in_three.fetch_add(1,
                                                      std::memory_order_relaxed);
     shard.striped_stats.values_touched.fetch_add(
@@ -849,6 +1448,7 @@ class PartitionedCrackerColumn {
           continue;
         }
         shard.column.RegisterCut(cut, piece.begin);
+        shard.realized_cuts.fetch_add(1, std::memory_order_relaxed);
         shard.striped_stats.num_crack_in_two.fetch_add(
             1, std::memory_order_relaxed);
         return piece.begin;
@@ -872,6 +1472,7 @@ class PartitionedCrackerColumn {
         const std::unique_lock<std::shared_mutex> il(shard.index_latch);
         shard.column.RegisterCut(cut, split);
       }
+      shard.realized_cuts.fetch_add(1, std::memory_order_relaxed);
       shard.striped_stats.num_crack_in_two.fetch_add(1,
                                                      std::memory_order_relaxed);
       shard.striped_stats.values_touched.fetch_add(piece.end - piece.begin,
@@ -911,6 +1512,7 @@ class PartitionedCrackerColumn {
         const std::unique_lock<std::shared_mutex> il(shard.index_latch);
         shard.column.RegisterCut(random_cut, split);
       }
+      shard.realized_cuts.fetch_add(1, std::memory_order_relaxed);
       shard.striped_stats.num_stochastic_cracks.fetch_add(
           1, std::memory_order_relaxed);
       shard.striped_stats.values_touched.fetch_add(span_size,
@@ -933,6 +1535,256 @@ class PartitionedCrackerColumn {
     AIDX_CHECK(out->num_edges < 2);
     out->edges[static_cast<std::size_t>(out->num_edges)] = edge;
     ++out->num_edges;
+  }
+  // ------------------------------------------------------------------------
+
+  // -- The striped write path (docs/CONCURRENCY.md §4) ---------------------
+
+  bool UseStripedWrites() const {
+    return options_.latch_mode == LatchMode::kStripedPiece &&
+           options_.write_mode == WriteMode::kStripedWrite;
+  }
+
+  WriteBucket& BucketFor(const Shard& shard, T value) const {
+    return shard.write_buckets[std::hash<T>{}(value) %
+                               shard.write_buckets.size()];
+  }
+
+  void AppendBucketInsert(Shard& shard, T value, row_id_t rid) {
+    WriteBucket& bucket = BucketFor(shard, value);
+    const std::lock_guard<std::mutex> bl(bucket.mu);
+    bucket.inserts.push_back({value, rid});
+    WidenBufferedBounds(shard, value);
+    shard.buffered_writes.fetch_add(1, std::memory_order_acq_rel);
+    shard.striped_inserts_queued.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Buffers an insert under the owning piece's exclusive stripes, with
+  /// the same lookup -> latch shape as the read path. Unlike reads no
+  /// re-validate retry is needed: a concurrent crack only shrinks the
+  /// owning piece (pieces never grow under `structural` shared), so the
+  /// new owning piece's blocks stay inside the looked-up range and the
+  /// mask latched here still covers it exclusively. Caller holds
+  /// `structural` shared.
+  void StripedEnqueueInsertLocked(Shard& shard, T value, row_id_t rid) {
+    PieceInfo<T> piece;
+    {
+      const std::shared_lock<std::shared_mutex> il(shard.index_latch);
+      piece = shard.column.index().PieceForValue(value);
+    }
+    const std::uint64_t mask = StripeMask(shard, piece.begin, piece.end);
+    if (mask == 0) {
+      // Empty piece: no stripe covers it and no crack can subdivide it,
+      // so the bucket mutex alone orders the append.
+      AppendBucketInsert(shard, value, rid);
+      return;
+    }
+    const StripeLockSet lock(&shard.stripes, mask, /*exclusive=*/true);
+    AppendBucketInsert(shard, value, rid);
+  }
+
+  /// Buffers a delete of one live tuple equal to `value`, or cancels a
+  /// buffered insert of it. The existence probe is a striped point
+  /// resolve (it cracks and counts a select, mirroring the coarse
+  /// DeleteValue which probes through Select) plus the pending stores:
+  /// live occurrences not yet claimed by earlier deletes must outnumber
+  /// zero for the delete to queue. Exact under concurrency: the array and
+  /// internal stores are stable under `structural` shared (held by the
+  /// caller), and same-value deletes serialize on the value's bucket
+  /// mutex, where claims are re-counted.
+  bool StripedDeleteLocked(Shard& shard, T value) {
+    {
+      WriteBucket& bucket = BucketFor(shard, value);
+      const std::lock_guard<std::mutex> bl(bucket.mu);
+      if (CancelBucketInsertLocked(shard, bucket, value)) return true;
+    }
+    const auto point = RangePredicate<T>::Between(value, value);
+    const StripedRange r = StripedResolve(shard, point);
+    std::size_t live = 0;
+    {
+      std::uint64_t mask = StripeMask(shard, r.begin, r.end);
+      for (int i = 0; i < r.num_edges; ++i) {
+        mask |= StripeMask(shard, r.edges[i].begin, r.edges[i].end);
+      }
+      const StripeLockSet lock(&shard.stripes, mask, /*exclusive=*/false);
+      live = r.end - r.begin;  // the point core holds only `value` tuples
+      for (int i = 0; i < r.num_edges; ++i) {
+        live += shard.column.CountEqualIn(r.edges[i], value);
+      }
+    }
+    std::size_t pending_ins = 0;
+    std::size_t pending_del = 0;
+    shard.column.ForEachPendingInsert(
+        [&](T v, row_id_t) { pending_ins += v == value ? 1 : 0; });
+    shard.column.ForEachPendingDelete(
+        [&](T v, row_id_t) { pending_del += v == value ? 1 : 0; });
+    WriteBucket& bucket = BucketFor(shard, value);
+    const std::lock_guard<std::mutex> bl(bucket.mu);
+    // An insert of this value may have landed since the first check.
+    if (CancelBucketInsertLocked(shard, bucket, value)) return true;
+    std::size_t bucket_del = 0;
+    for (const StripedPendingTuple& t : bucket.deletes) {
+      bucket_del += t.value == value ? 1 : 0;
+    }
+    if (live + pending_ins <= pending_del + bucket_del) return false;
+    bucket.deletes.push_back({value, kPendingNoRid});
+    WidenBufferedBounds(shard, value);
+    shard.buffered_writes.fetch_add(1, std::memory_order_acq_rel);
+    shard.striped_deletes_queued.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Swap-removes one buffered insert of `value`; caller holds bucket.mu.
+  bool CancelBucketInsertLocked(Shard& shard, WriteBucket& bucket, T value) {
+    for (std::size_t i = 0; i < bucket.inserts.size(); ++i) {
+      if (bucket.inserts[i].value != value) continue;
+      bucket.inserts[i] = bucket.inserts.back();
+      bucket.inserts.pop_back();
+      shard.buffered_writes.fetch_sub(1, std::memory_order_acq_rel);
+      shard.striped_deletes_cancelled.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Moves every buffered write into the inner column's pending stores.
+  /// Caller holds whole-partition exclusion. Deletes adopt first, across
+  /// all buckets: a buffered delete claims a tuple that existed before it
+  /// was queued, never an insert buffered after it (same-value pairs in
+  /// one bucket already cancelled at enqueue time, and same values always
+  /// share a bucket).
+  void DrainStripedPending(Shard& shard) const {
+    if (shard.buffered_writes.load(std::memory_order_acquire) == 0) return;
+    std::size_t drained = 0;
+    for (WriteBucket& bucket : shard.write_buckets) {
+      const std::lock_guard<std::mutex> bl(bucket.mu);
+      for (const StripedPendingTuple& t : bucket.deletes) {
+        shard.column.AdoptPendingDeleteValue(t.value);
+      }
+      drained += bucket.deletes.size();
+      bucket.deletes.clear();
+    }
+    for (WriteBucket& bucket : shard.write_buckets) {
+      const std::lock_guard<std::mutex> bl(bucket.mu);
+      for (const StripedPendingTuple& t : bucket.inserts) {
+        shard.column.AdoptPendingInsert(t.value, t.rid);
+      }
+      drained += bucket.inserts.size();
+      bucket.inserts.clear();
+    }
+    // Exclusion also keeps striped writers out, so the bounds reset cannot
+    // race a concurrent widen.
+    shard.buffered_min.store(std::numeric_limits<T>::max(),
+                             std::memory_order_relaxed);
+    shard.buffered_max.store(std::numeric_limits<T>::lowest(),
+                             std::memory_order_relaxed);
+    shard.buffered_writes.fetch_sub(drained, std::memory_order_acq_rel);
+  }
+  // ------------------------------------------------------------------------
+
+  // -- Adaptive stripe growth ----------------------------------------------
+
+  /// Doubles the active stripe count while realized cuts have outrun it
+  /// (2 cuts per active stripe), up to the allocated capacity. Caller
+  /// holds whole-partition exclusion, so no thread can hold a stripe latch
+  /// and the block -> stripe remap is safe.
+  void MaybeGrowStripes(Shard& shard) const {
+    if (options_.latch_mode != LatchMode::kStripedPiece ||
+        !options_.adaptive_stripes) {
+      return;
+    }
+    const std::size_t cuts = shard.column.index().num_cuts();
+    shard.realized_cuts.store(cuts, std::memory_order_relaxed);
+    const std::size_t cap = shard.stripes.size();
+    std::size_t active = shard.active_stripes;
+    while (active < cap && cuts >= 2 * active) active *= 2;
+    shard.active_stripes = std::min(active, cap);
+  }
+
+  /// Cheap growth check for the shared path (no index latch: reads the
+  /// relaxed cut mirror). Caller holds `structural` shared, which pins
+  /// active_stripes.
+  bool StripeGrowthDue(const Shard& shard) const {
+    return options_.adaptive_stripes &&
+           shard.active_stripes < shard.stripes.size() &&
+           shard.realized_cuts.load(std::memory_order_relaxed) >=
+               2 * shard.active_stripes;
+  }
+
+  /// Opportunistic growth after a shared-path read: grow only if the
+  /// exclusive latch is free right now — never wait for it on the read
+  /// path (a later coarse hold or drain will grow instead).
+  void TryGrowStripes(Shard& shard) const {
+    const std::unique_lock<std::shared_mutex> structural(shard.structural,
+                                                         std::try_to_lock);
+    if (!structural.owns_lock()) return;
+    MaybeGrowStripes(shard);
+  }
+  // ------------------------------------------------------------------------
+
+  // -- Background-merge mode machine (docs/UPDATES.md) ---------------------
+
+  void MaybeTriggerBackgroundMerge(Shard& shard) {
+    if (options_.background_merge_threshold == 0 || pool_ == nullptr) return;
+    if (shard.mode.load(std::memory_order_relaxed) !=
+        static_cast<int>(ShardMergeMode::kNormal)) {
+      return;
+    }
+    if (shard.buffered_writes.load(std::memory_order_relaxed) <
+        options_.background_merge_threshold) {
+      return;
+    }
+    RequestBackgroundMerge(shard.index);
+  }
+
+  /// Bounded grace wait: observe every free-status slot at zero once, so
+  /// shared-path readers that were in flight when the mode flipped have
+  /// (very likely) drained. Advisory pacing from the SNIPPETS.md design —
+  /// correctness never depends on it, only latches guarantee exclusion.
+  void WaitForFreeStatus(const Shard& shard) const {
+    for (std::size_t slot = 0; slot < kFreeStatusSlots; ++slot) {
+      for (int spin = 0; spin < 1024; ++spin) {
+        if (shard.free_status[slot].load(std::memory_order_acquire) == 0) {
+          break;
+        }
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// The pool-side merge task: PrepareToMerge (grace wait) -> Merging
+  /// (drain + ripple-merge in chunked exclusive holds, yielding between
+  /// chunks so readers and writers interleave) -> Merged (grace wait) ->
+  /// Normal. Readers observing any non-Normal state answer from the shared
+  /// overlay path, so they are never blocked behind the merge.
+  void RunBackgroundMerge(std::size_t p) {
+    Shard& shard = *shards_[p];
+    if (!shutting_down_.load(std::memory_order_acquire)) {
+      WaitForFreeStatus(shard);
+    }
+    shard.mode.store(static_cast<int>(ShardMergeMode::kMerging),
+                     std::memory_order_release);
+    for (std::size_t round = 0; round < kMaxBackgroundRounds; ++round) {
+      if (shutting_down_.load(std::memory_order_acquire)) break;
+      bool done;
+      {
+        const std::unique_lock<std::shared_mutex> structural(shard.structural);
+        MaybeGrowStripes(shard);
+        DrainStripedPending(shard);
+        shard.column.MergePendingBudget(options_.background_merge_chunk);
+        done = !shard.column.has_pending() &&
+               shard.buffered_writes.load(std::memory_order_acquire) == 0;
+      }
+      if (done) break;
+      std::this_thread::yield();
+    }
+    shard.mode.store(static_cast<int>(ShardMergeMode::kMerged),
+                     std::memory_order_release);
+    if (!shutting_down_.load(std::memory_order_acquire)) {
+      WaitForFreeStatus(shard);
+    }
+    shard.mode.store(static_cast<int>(ShardMergeMode::kNormal),
+                     std::memory_order_release);
   }
   // ------------------------------------------------------------------------
 
@@ -1027,6 +1879,10 @@ class PartitionedCrackerColumn {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<row_id_t> next_rid_{0};   // globally unique fresh row ids
   std::atomic<std::size_t> live_size_{0};
+  /// In-flight background merge tasks (ticket-counted: a ticket is released
+  /// even when the pool drops the closure unstarted at shutdown).
+  mutable std::atomic<int> background_tasks_{0};
+  std::atomic<bool> shutting_down_{false};
 };
 
 }  // namespace aidx

@@ -208,16 +208,16 @@ class UpdatableCrackerColumn : public CrackerColumn<T> {
   /// positions reflect every update the predicate must observe.
   void MergePendingFor(const RangePredicate<T>& pred) { MergeForQuery(pred); }
 
-  /// True when a query with this predicate would fold pending updates —
-  /// i.e. when MergePendingFor(pred) would not be a no-op. The striped
-  /// piece-latch fast path (docs/CONCURRENCY.md §4) uses this as its
-  /// slow-path gate: under kRipple only pending tuples the predicate
-  /// matches force a merge; kComplete and kGradual merge beyond the
-  /// predicate's range, so any pending tuple at all does. Caller-
-  /// synchronized, like every other method.
+  /// True when the predicate's *answer* depends on a pending update — i.e.
+  /// when some pending tuple matches the predicate. The striped piece-latch
+  /// fast path (docs/CONCURRENCY.md §4) uses this as its slow-path gate.
+  /// Deliberately policy-independent: kComplete and kGradual merge beyond
+  /// the predicate's range *when a merge happens*, but a query whose range
+  /// overlaps no pending key is exact without any merge, so it must not pay
+  /// the coarse path under any policy. Caller-synchronized, like every
+  /// other method.
   bool NeedsMergeFor(const RangePredicate<T>& pred) const {
     if (pending_inserts_.empty() && pending_deletes_.empty()) return false;
-    if (options_.policy != MergePolicy::kRipple) return true;
     const auto matches = [&](const PendingTuple& t) {
       return pred.Matches(t.value);
     };
@@ -225,6 +225,58 @@ class UpdatableCrackerColumn : public CrackerColumn<T> {
                        matches) ||
            std::any_of(pending_deletes_.begin(), pending_deletes_.end(),
                        matches);
+  }
+
+  bool has_pending() const {
+    return !pending_inserts_.empty() || !pending_deletes_.empty();
+  }
+
+  /// Read-only enumeration of the pending stores, for the striped write
+  /// path's overlay reads and existence probes (which may only hold the
+  /// shard's structural latch shared — the stores mutate only under
+  /// structural exclusive). `fn(value, rid)` per tuple.
+  template <typename Fn>
+  void ForEachPendingInsert(Fn&& fn) const {
+    for (const PendingTuple& t : pending_inserts_) fn(t.value, t.rid);
+  }
+  template <typename Fn>
+  void ForEachPendingDelete(Fn&& fn) const {
+    for (const PendingTuple& t : pending_deletes_) fn(t.value, t.rid);
+  }
+
+  /// Adopts an insert that was already counted as queued by an outer
+  /// buffer (the partitioned column's striped write buckets): identical to
+  /// InsertWithRid minus the inserts_queued bump, so draining a buffer
+  /// never double-counts.
+  void AdoptPendingInsert(T value, row_id_t rid) {
+    if (rid != kPendingNoRid && rid >= next_row_id_) next_row_id_ = rid + 1;
+    pending_inserts_.push_back({value, rid});
+  }
+
+  /// Adopts a value-addressed delete that was already counted as queued by
+  /// an outer buffer. Cancels a matching pending insert when one exists
+  /// (counted as a cancellation — the claimed tuple never reaches the
+  /// array), otherwise queues the delete without re-counting it. The outer
+  /// buffer verified a live occurrence at enqueue time.
+  void AdoptPendingDeleteValue(T value) {
+    for (std::size_t i = 0; i < pending_inserts_.size(); ++i) {
+      if (pending_inserts_[i].value == value) {
+        pending_inserts_[i] = pending_inserts_.back();
+        pending_inserts_.pop_back();
+        ++stats_.deletes_cancelled;
+        return;
+      }
+    }
+    pending_deletes_.push_back({value, kPendingNoRid});
+  }
+
+  /// Merges up to `max_tuples` pending updates (oldest-first, deletes
+  /// before inserts) regardless of any predicate — the chunk primitive the
+  /// background-merge mode machine runs between latch releases so readers
+  /// never wait behind one long exclusive hold.
+  void MergePendingBudget(std::size_t max_tuples) {
+    if (max_tuples == 0) return;
+    MergeMatching([](const PendingTuple&) { return false; }, max_tuples);
   }
 
   std::size_t num_pending_inserts() const { return pending_inserts_.size(); }

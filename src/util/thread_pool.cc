@@ -34,6 +34,17 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  AIDX_CHECK(task != nullptr);
+  {
+    const std::lock_guard<std::mutex> guard(mu_);
+    if (stopping_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -53,6 +53,12 @@ class ThreadPool {
   /// their own latch.
   void Submit(std::function<void()> task);
 
+  /// Like Submit, but returns false instead of CHECK-failing when the pool
+  /// is already stopping. Background maintenance (the partitioned column's
+  /// merge tasks) races pool shutdown by design and must degrade to "did
+  /// not run" rather than crash.
+  bool TrySubmit(std::function<void()> task);
+
   /// Runs fn(0), ..., fn(n-1) across the workers and the calling thread;
   /// returns when all n iterations have finished. Iterations are claimed
   /// from a shared counter, so uneven per-iteration costs balance

@@ -1,0 +1,217 @@
+// Property/fuzz harness for the striped write path (docs/CONCURRENCY.md
+// §5): seeded random operation streams against a std::multiset oracle.
+//
+//  - single-threaded: after EVERY operation the column must agree with the
+//    multiset on Count/Sum over random ranges and on Delete hit/miss;
+//  - multi-threaded: 8 threads interleave inserts, deletes, and range
+//    queries freely; per-thread value namespaces make the final multiset
+//    deterministic, so after joining, a full materialization must equal
+//    the union of the per-thread logs — for any interleaving the scheduler
+//    produced;
+//  - the same interleavings run again with background merges enabled, so
+//    the mode machine's Normal -> PrepareToMerge -> Merging -> Merged
+//    cycle races real traffic under TSan.
+//
+// Each property is TEST_P over several seeds; a failure message carries
+// the seed, so any counterexample replays deterministically.
+//
+// Runs under ThreadSanitizer via the `concurrency` ctest label
+// (scripts/check.sh --tsan).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "index/scan.h"
+#include "parallel/partitioned_cracker_column.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace aidx {
+namespace {
+
+using Pred = RangePredicate<std::int64_t>;
+using Column = PartitionedCrackerColumn<std::int64_t>;
+
+constexpr std::int64_t kDomain = 1000;
+
+std::vector<std::int64_t> RandomValues(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.NextBounded(kDomain));
+  return v;
+}
+
+Pred RandomPredicate(Rng* rng) {
+  const auto a = rng->NextInRange(-5, kDomain + 5);
+  const auto width = rng->NextInRange(0, kDomain / 4);
+  const auto kind = [&]() -> BoundKind {
+    switch (rng->NextBounded(3)) {
+      case 0: return BoundKind::kInclusive;
+      case 1: return BoundKind::kExclusive;
+      default: return BoundKind::kUnbounded;
+    }
+  };
+  return Pred{a, kind(), a + width, kind()};
+}
+
+PartitionedCrackerOptions StressOptions(std::size_t background_threshold = 0) {
+  PartitionedCrackerOptions options;
+  options.num_partitions = 4;
+  options.latch_mode = LatchMode::kStripedPiece;
+  options.write_mode = WriteMode::kStripedWrite;
+  options.background_merge_threshold = background_threshold;
+  options.background_merge_chunk = 64;  // small chunks: more mode cycles
+  return options;
+}
+
+class RandomizedOpsStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedOpsStress,
+                         ::testing::Values(0xA11CEull, 0xB0Bull, 0xC0FFEEull,
+                                           0xD15EA5Eull));
+
+// Sequential property: the column is observationally a std::multiset.
+TEST_P(RandomizedOpsStress, SequentialMultisetOracle) {
+  const std::uint64_t seed = GetParam();
+  const auto base = RandomValues(3000, seed);
+  std::multiset<std::int64_t> oracle(base.begin(), base.end());
+  Column col(base, StressOptions());
+  Rng rng(seed ^ 0x5EED);
+  for (int op = 0; op < 1000; ++op) {
+    switch (rng.NextBounded(5)) {
+      case 0: {
+        const auto v = static_cast<std::int64_t>(rng.NextBounded(kDomain));
+        col.Insert(v);
+        oracle.insert(v);
+        break;
+      }
+      case 1: {
+        const auto v = static_cast<std::int64_t>(rng.NextBounded(kDomain));
+        const auto it = oracle.find(v);
+        const bool expect = it != oracle.end();
+        ASSERT_EQ(col.Delete(v), expect)
+            << "seed " << seed << " op " << op << " value " << v;
+        if (expect) oracle.erase(it);
+        break;
+      }
+      case 2: {
+        const Pred p = RandomPredicate(&rng);
+        std::size_t expect = 0;
+        for (const auto v : oracle) expect += p.Matches(v) ? 1 : 0;
+        ASSERT_EQ(col.Count(p), expect)
+            << "seed " << seed << " op " << op << " " << p.ToString();
+        break;
+      }
+      case 3: {
+        const Pred p = RandomPredicate(&rng);
+        long double expect = 0;
+        for (const auto v : oracle) {
+          if (p.Matches(v)) expect += static_cast<long double>(v);
+        }
+        ASSERT_EQ(static_cast<double>(col.Sum(p)),
+                  static_cast<double>(expect))
+            << "seed " << seed << " op " << op << " " << p.ToString();
+        break;
+      }
+      default: {
+        ASSERT_EQ(col.size(), oracle.size()) << "seed " << seed;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(col.Count(Pred::All()), oracle.size()) << "seed " << seed;
+  EXPECT_TRUE(col.ValidatePieces()) << "seed " << seed;
+}
+
+// One multi-threaded round: `threads` workers run `ops` operations each
+// against `col`; returns the expected final multiset. Thread t inserts
+// only values ≡ t (mod threads) above the base domain and deletes only
+// its own inserts, so the union of survivor logs is exact for any
+// interleaving while deletes still contend on shared pieces.
+std::vector<std::int64_t> RunInterleavedOps(Column* col,
+                                            std::vector<std::int64_t> base,
+                                            std::uint64_t seed,
+                                            std::size_t threads, int ops) {
+  std::vector<std::vector<std::int64_t>> surviving(threads);
+  std::atomic<int> delete_misses{0};
+  std::atomic<int> oracle_failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(seed + 17 * t);
+      std::vector<std::int64_t>& mine = surviving[t];
+      for (int op = 0; op < ops; ++op) {
+        const auto dice = rng.NextBounded(10);
+        if (dice < 4) {
+          const auto v = static_cast<std::int64_t>(
+              kDomain + rng.NextBounded(kDomain) * threads + t);
+          col->Insert(v);
+          mine.push_back(v);
+        } else if (dice < 6 && !mine.empty()) {
+          const std::size_t pick = rng.NextBounded(mine.size());
+          if (!col->Delete(mine[pick])) delete_misses.fetch_add(1);
+          mine[pick] = mine.back();
+          mine.pop_back();
+        } else if (dice < 9) {
+          // The base never changes, so base-domain counts have a fixed
+          // floor and ceiling even while other threads write above it.
+          const Pred p = RandomPredicate(&rng);
+          const std::size_t expect =
+              ScanCount<std::int64_t>(std::span<const std::int64_t>(base), p);
+          if (col->Count(p) < expect) oracle_failures.fetch_add(1);
+        } else {
+          std::vector<std::int64_t> out;
+          col->MaterializeValues(Pred::Between(0, kDomain - 1), &out);
+          if (out.size() != base.size()) oracle_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(delete_misses.load(), 0) << "seed " << seed;
+  EXPECT_EQ(oracle_failures.load(), 0) << "seed " << seed;
+  std::vector<std::int64_t> expect = std::move(base);
+  for (const auto& mine : surviving) {
+    expect.insert(expect.end(), mine.begin(), mine.end());
+  }
+  std::sort(expect.begin(), expect.end());
+  return expect;
+}
+
+TEST_P(RandomizedOpsStress, InterleavedOpsConvergeToLogUnion) {
+  const std::uint64_t seed = GetParam();
+  const auto base = RandomValues(8000, seed ^ 0xF00D);
+  Column col(base, StressOptions());
+  const auto expect = RunInterleavedOps(&col, base, seed, 8, 250);
+  std::vector<std::int64_t> got;
+  col.MaterializeValues(Pred::All(), &got);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expect) << "seed " << seed;
+  EXPECT_EQ(col.size(), expect.size()) << "seed " << seed;
+  EXPECT_TRUE(col.ValidatePieces()) << "seed " << seed;
+}
+
+TEST_P(RandomizedOpsStress, InterleavedOpsWithBackgroundMerges) {
+  const std::uint64_t seed = GetParam();
+  const auto base = RandomValues(8000, seed ^ 0xFEED);
+  ThreadPool pool(3);
+  // A low threshold keeps merge tasks cycling through the mode machine
+  // for the whole run, racing the writers and readers below.
+  Column col(base, StressOptions(/*background_threshold=*/16), &pool);
+  const auto expect = RunInterleavedOps(&col, base, seed, 8, 250);
+  col.WaitForBackgroundMerges();
+  std::vector<std::int64_t> got;
+  col.MaterializeValues(Pred::All(), &got);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expect) << "seed " << seed;
+  EXPECT_TRUE(col.ValidatePieces()) << "seed " << seed;
+}
+
+}  // namespace
+}  // namespace aidx
