@@ -23,6 +23,7 @@
 // striped mode's shared-latch read path keeps an edge even there, because
 // converged same-partition readers stop serializing at all.
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -123,6 +124,71 @@ bench::ThroughputResult RunWriteMix(AccessPath<std::int64_t>& path,
     std::cerr << "WRITE-MIX EXACTNESS FAILURE: live " << live << " expected "
               << expected << "\n";
     std::exit(1);
+  }
+  return result;
+}
+
+// Multi-column write-mix for sweep 6: the three columns of one logical
+// table modeled as three paths of the same config; a write applies one
+// row to all three (value v, v+M, v+2M — the row-atomic Database pattern
+// at access-path granularity), a read counts on one column. Writes
+// triple-touch the latches, so column-level contention grows with the
+// write share. Exactness is asserted on each column's final live count,
+// which must equal base + the issued insert/delete balance.
+bench::ThroughputResult RunMulticolWriteMix(
+    std::array<AccessPath<std::int64_t>*, 3> paths,
+    const std::vector<Queries>& streams, std::size_t threads,
+    std::size_t ops_per_thread, std::size_t write_pct, std::size_t base_rows,
+    std::int64_t domain) {
+  struct WriterState {
+    std::vector<std::int64_t> inserted;
+    std::size_t oldest = 0;
+    std::size_t write_ops = 0;
+  };
+  const std::int64_t column_offset = domain;  // M: shifts rows per column
+  std::vector<WriterState> writers(threads);
+  std::atomic<std::uint64_t> counted{0};
+  const auto result = bench::MeasureThroughput(
+      threads, ops_per_thread, [&](std::size_t t, std::size_t q) {
+        const bool is_write =
+            write_pct > 0 && (q * write_pct) % 100 < write_pct;
+        if (is_write) {
+          WriterState& w = writers[t];
+          const bool do_delete =
+              (w.write_ops++ % 2) == 1 && w.oldest < w.inserted.size();
+          if (do_delete) {
+            const std::int64_t v = w.inserted[w.oldest++];
+            for (std::size_t c = 0; c < 3; ++c) {
+              paths[c]->Delete(v + static_cast<std::int64_t>(c) * column_offset);
+            }
+          } else {
+            const auto raw = static_cast<std::uint64_t>(
+                w.inserted.size() * kMaxThreads + t);
+            const auto v = static_cast<std::int64_t>(
+                (raw * 0x9E3779B97F4A7C15ull) %
+                static_cast<std::uint64_t>(domain));
+            for (std::size_t c = 0; c < 3; ++c) {
+              paths[c]->Insert(v + static_cast<std::int64_t>(c) * column_offset);
+            }
+            w.inserted.push_back(v);
+          }
+        } else {
+          counted.fetch_add(paths[q % 3]->Count(streams[t][q]),
+                            std::memory_order_relaxed);
+        }
+      });
+  std::size_t expected = base_rows;
+  for (const WriterState& w : writers) {
+    expected += w.inserted.size() - w.oldest;
+  }
+  for (std::size_t c = 0; c < 3; ++c) {
+    const std::size_t live =
+        paths[c]->Count(RangePredicate<std::int64_t>::All());
+    if (live != expected) {
+      std::cerr << "MULTICOL WRITE-MIX EXACTNESS FAILURE: column " << c
+                << " live " << live << " expected " << expected << "\n";
+      std::exit(1);
+    }
   }
   return result;
 }
@@ -422,6 +488,59 @@ int main(int argc, char** argv) {
   }
   by_mix.Print(std::cout);
 
+  // Sweep 6: the multi-column write-mix axis. Three same-config paths
+  // stand in for a 3-column table's columns; every write triple-touches
+  // them (the row-atomic Database pattern), so write contention is 3x
+  // sweep 5's per operation. 20% writes, striped-write vs partition-mutex,
+  // and the headline records the worst striped/mutex ratio over the
+  // thread sweep.
+  std::cout << "\nthroughput vs threads, multi-column write mix "
+               "(3 columns, 20% writes, 8 partitions, skewed):\n";
+  TablePrinter by_multicol(
+      {"threads", "striped-w ops/s", "mutex ops/s", "ratio"});
+  double multicol_min_ratio = 0;
+  for (const std::size_t threads : {2u, 8u}) {
+    double cell_qps[2] = {0, 0};
+    double ratio = 0;
+    for (int rep = 0; rep < 5; ++rep) {
+      double rep_qps[2] = {0, 0};
+      for (int mode = 0; mode < 2; ++mode) {
+        const auto& config = mode == 0 ? striped_mix_config : mutex_mix_config;
+        std::array<std::unique_ptr<AccessPath<std::int64_t>>, 3> columns = {
+            MakeAccessPath<std::int64_t>(data, config),
+            MakeAccessPath<std::int64_t>(data, config),
+            MakeAccessPath<std::int64_t>(data, config)};
+        const auto result = RunMulticolWriteMix(
+            {columns[0].get(), columns[1].get(), columns[2].get()}, skewed,
+            threads, queries_per_thread, /*write_pct=*/20, n,
+            static_cast<std::int64_t>(n));
+        rep_qps[mode] = result.QueriesPerSecond();
+        cell_qps[mode] = std::max(cell_qps[mode], rep_qps[mode]);
+      }
+      if (rep_qps[1] > 0) ratio = std::max(ratio, rep_qps[0] / rep_qps[1]);
+    }
+    if (multicol_min_ratio == 0 || ratio < multicol_min_ratio) {
+      multicol_min_ratio = ratio;
+    }
+    by_multicol.AddRow({std::to_string(threads),
+                        std::to_string(static_cast<std::size_t>(cell_qps[0])),
+                        std::to_string(static_cast<std::size_t>(cell_qps[1])),
+                        Format2(ratio) + "x"});
+    csv_rows.push_back({"multicol_write_mix", std::to_string(threads),
+                        std::to_string(cell_qps[0]),
+                        std::to_string(cell_qps[1])});
+    for (int mode = 0; mode < 2; ++mode) {
+      json.AddRow("multicol_write_mix")
+          .Set("write_pct", std::size_t{20})
+          .Set("columns", std::size_t{3})
+          .Set("threads", threads)
+          .Set("partitions", std::size_t{8})
+          .Set("write_mode", mode == 0 ? "striped-write" : "partition-mutex")
+          .Set("ops_per_s", cell_qps[mode]);
+    }
+  }
+  by_multicol.Print(std::cout);
+
   // The recorded headline the CI gate (scripts/compare_bench.py) checks
   // for presence and shape: striped vs partition-mutex concurrent-select
   // throughput at 8 client threads on the same-partition-skewed stream.
@@ -447,6 +566,17 @@ int main(int argc, char** argv) {
       .Set("striped_write_at_least_mutex", write_mix_min_ratio_20 >= 1.0);
   std::cout << "headline: worst striped-write/mutex ratio at 20% writes = "
             << Format2(write_mix_min_ratio_20) << "x\n";
+
+  // Third headline: the multi-column axis — worst striped-write/mutex
+  // ratio when every write fans out to all three columns.
+  json.AddRow("headline")
+      .Set("metric", "multicol_write_mix")
+      .Set("write_pct", std::size_t{20})
+      .Set("columns", std::size_t{3})
+      .Set("multicol_min_ratio", multicol_min_ratio)
+      .Set("multicol_at_least_mutex", multicol_min_ratio >= 1.0);
+  std::cout << "headline: worst multi-column striped-write/mutex ratio = "
+            << Format2(multicol_min_ratio) << "x\n";
 
   const std::string csv = bench::CsvPath("e11_parallel_scaling.csv");
   if (!csv.empty()) {

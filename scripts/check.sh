@@ -13,11 +13,13 @@
 #
 # scripts/check.sh --asan builds the full test suite under
 # AddressSanitizer + UndefinedBehaviorSanitizer (separate build-asan/
-# tree) — ripple merges, delta buffers, and segment appends are exactly
-# where memory bugs hide. Also a CI job.
+# tree) — ripple merges, delta buffers, segment appends, and the
+# row-atomic table-DML suites (table_dml_test, sideways_update_test) are
+# exactly where memory bugs hide. Also a CI job.
 #
-# scripts/check.sh --bench-smoke builds bench_e12_crack_kernels and
-# bench_e11_parallel_scaling and runs both at reduced scale with --json,
+# scripts/check.sh --bench-smoke builds bench_e12_crack_kernels,
+# bench_e11_parallel_scaling, and bench_e4_updates and runs them at
+# reduced scale with --json,
 # then gates the emitted BENCH_*.json (build/bench-artifacts/) through
 # scripts/compare_bench.py — schema plus per-bench headline metrics (a
 # trend gate, not a noise gate). CI runs this on every push and uploads
@@ -58,7 +60,7 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   shift
   cmake -B build -S . "$@"
   cmake --build build -j "$(nproc)" \
-    --target bench_e12_crack_kernels bench_e11_parallel_scaling
+    --target bench_e12_crack_kernels bench_e11_parallel_scaling bench_e4_updates
   mkdir -p build/bench-artifacts
   AIDX_N="${AIDX_N:-200000}" AIDX_Q="${AIDX_Q:-128}" AIDX_CSV_DIR="" \
     AIDX_JSON_DIR=build/bench-artifacts \
@@ -66,12 +68,17 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   AIDX_N="${AIDX_N:-200000}" AIDX_Q="${AIDX_Q:-256}" AIDX_CSV_DIR="" \
     AIDX_JSON_DIR=build/bench-artifacts \
     ./build/bench_e11_parallel_scaling --json
+  AIDX_N="${AIDX_N:-200000}" AIDX_Q="${AIDX_Q:-256}" AIDX_CSV_DIR="" \
+    AIDX_JSON_DIR=build/bench-artifacts \
+    ./build/bench_e4_updates --json
   test -s build/bench-artifacts/BENCH_e12_crack_kernels.json
   test -s build/bench-artifacts/BENCH_e11_parallel_scaling.json
+  test -s build/bench-artifacts/BENCH_e4_updates.json
   if command -v python3 >/dev/null 2>&1; then
     python3 scripts/compare_bench.py \
       build/bench-artifacts/BENCH_e12_crack_kernels.json \
-      build/bench-artifacts/BENCH_e11_parallel_scaling.json
+      build/bench-artifacts/BENCH_e11_parallel_scaling.json \
+      build/bench-artifacts/BENCH_e4_updates.json
   else
     echo "bench-smoke: python3 unavailable; skipped compare_bench.py gate" >&2
   fi

@@ -50,6 +50,21 @@ HEADLINE_REQUIREMENTS = {
         # writes across the thread sweep.
         ("write_mix_sweep", "ops_per_s", "positive"),
         ("headline", "striped_write_min_ratio", "positive"),
+        # The multi-column write-mix axis (every write fans out to all
+        # three columns) and its headline: the worst multi-column
+        # striped-write/mutex ratio across the thread sweep.
+        ("multicol_write_mix", "ops_per_s", "positive"),
+        ("headline", "multicol_min_ratio", "positive"),
+    ],
+    "e4_updates": [
+        # Merge-policy totals must be present for both the single-column
+        # series and the row-atomic multi-column write mix, plus the
+        # multi-column throughput headline (docs/UPDATES.md §5).
+        ("series", "total_s", "positive"),
+        ("pressure_sweep", "total_s", "positive"),
+        ("multicol_write_mix", "ops_per_s", "positive"),
+        ("headline", "multicol_ops_per_s", "positive"),
+        ("headline", "best_policy", "string"),
     ],
 }
 

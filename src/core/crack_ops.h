@@ -140,13 +140,20 @@ struct SizedUint<8> { using type = std::uint64_t; };
 /// cond ? if_true : if_false computed with mask arithmetic — compilers
 /// happily turn a ternary whose arms differ in memory behaviour back into
 /// a branch (defeating the whole point of predication), so the select is
-/// spelled in a form that has no branch to recover.
+/// spelled in a form that has no branch to recover. Types wider than any
+/// machine integer (composite payloads, e.g. the tail+rid entries of
+/// rid-carrying cracker maps) fall back to a plain ternary: only the
+/// payload lane pays it, the value lane stays mask-selected.
 template <typename T>
 T BranchlessSelect(bool cond, T if_true, T if_false) {
-  using U = typename SizedUint<sizeof(T)>::type;
-  const U mask = static_cast<U>(0) - static_cast<U>(cond);
-  return std::bit_cast<T>(static_cast<U>(
-      (std::bit_cast<U>(if_true) & mask) | (std::bit_cast<U>(if_false) & ~mask)));
+  if constexpr (requires { typename SizedUint<sizeof(T)>::type; }) {
+    using U = typename SizedUint<sizeof(T)>::type;
+    const U mask = static_cast<U>(0) - static_cast<U>(cond);
+    return std::bit_cast<T>(static_cast<U>(
+        (std::bit_cast<U>(if_true) & mask) | (std::bit_cast<U>(if_false) & ~mask)));
+  } else {
+    return cond ? if_true : if_false;
+  }
 }
 
 /// The classic branchy Hoare sweep: O(n) with at most n/2 swaps.

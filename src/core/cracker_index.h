@@ -185,6 +185,18 @@ class CrackerIndex {
   /// Drops a realized cut (piece merge; used by update algorithms).
   bool EraseCut(const Cut<T>& cut) { return tree_.Erase(cut); }
 
+  /// Deep copy (the type is otherwise move-only). Sideways cracking clones
+  /// a fully-aligned sibling's index when a map joins its cohort after
+  /// updates: copying the cuts along with the layout is what keeps a later
+  /// Select from re-cracking — and thereby re-permuting — the clone.
+  CrackerIndex Clone() const {
+    CrackerIndex out(column_size_);
+    VisitCuts([&](const Cut<T>& cut, const std::size_t& pos) {
+      out.AddCut(cut, pos);
+    });
+    return out;
+  }
+
   void Clear() { tree_.Clear(); }
 
   /// Invariants: AVL shape, cut-position monotonicity, positions within the

@@ -16,6 +16,12 @@
 // first write); callers that mutate the underlying storage afterwards —
 // the Database facade does — must route every write through the path
 // *before* touching the base storage.
+//
+// A path serves exactly one column; it knows nothing about rows. Row
+// atomicity across a multi-column table — every column's paths observing a
+// row's values together or not at all — is the Database facade's contract
+// (docs/UPDATES.md §5), built by fanning one validated row out to each
+// column's paths before the base mutates.
 #pragma once
 
 #include <algorithm>

@@ -49,7 +49,11 @@ Status Database::CreateTable(std::string name) {
 Status Database::AddColumn(std::string_view table, std::string column,
                            std::vector<std::int64_t> values) {
   AIDX_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
-  return t->AddColumn<std::int64_t>(std::move(column), std::move(values));
+  AIDX_RETURN_NOT_OK(t->AddColumn<std::int64_t>(std::move(column), std::move(values)));
+  // Schema change: cached sideways crackers registered their tails at
+  // creation and would not know the new column; rebuild on next use.
+  DropSideways(table);
+  return Status::OK();
 }
 
 Result<std::span<const std::int64_t>> Database::ColumnSpan(
@@ -58,13 +62,6 @@ Result<std::span<const std::int64_t>> Database::ColumnSpan(
   AIDX_ASSIGN_OR_RETURN(const TypedColumn<std::int64_t>* col,
                         t->GetTypedColumn<std::int64_t>(column));
   return col->Values();
-}
-
-Result<TypedColumn<std::int64_t>*> Database::MutableColumn(std::string_view table,
-                                                           std::string_view column) {
-  AIDX_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
-  AIDX_ASSIGN_OR_RETURN(Column * raw, t->GetColumn(column));
-  return raw->As<std::int64_t>();
 }
 
 void Database::DropSideways(std::string_view table) {
@@ -81,42 +78,181 @@ void Database::DropSideways(std::string_view table) {
   }
 }
 
-Status Database::Insert(std::string_view table, std::string_view column,
-                        std::int64_t value) {
-  AIDX_ASSIGN_OR_RETURN(TypedColumn<std::int64_t> * col, MutableColumn(table, column));
+Result<Table*> Database::PrepareRowDml(
+    std::string_view table, std::vector<TypedColumn<std::int64_t>*>* cols) {
+  AIDX_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  if (t->num_columns() == 0) {
+    return Status::InvalidArgument("table '" + t->name() + "' has no columns");
+  }
+  cols->clear();
+  cols->reserve(t->num_columns());
+  for (const std::string& name : t->column_names()) {
+    AIDX_ASSIGN_OR_RETURN(Column * raw, t->GetColumn(name));
+    AIDX_ASSIGN_OR_RETURN(TypedColumn<std::int64_t> * typed,
+                          raw->As<std::int64_t>());
+    cols->push_back(typed);
+  }
+  if (dml_fault_hook_) {
+    for (const std::string& name : t->column_names()) {
+      AIDX_RETURN_NOT_OK(dml_fault_hook_(t->name(), name));
+    }
+  }
+  return t;
+}
+
+void Database::LogSidewaysInsert(SidewaysCracker<std::int64_t>& cracker,
+                                 std::string_view head,
+                                 const std::vector<std::string>& names,
+                                 std::span<const std::int64_t> row,
+                                 row_id_t rid) {
+  const auto index_of = [&](std::string_view name) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return i;
+    }
+    AIDX_CHECK(false) << "sideways column '" << name << "' missing from table";
+    return std::size_t{0};
+  };
+  std::vector<std::int64_t> tails;
+  tails.reserve(cracker.registered_tails().size());
+  for (const std::string& tail_name : cracker.registered_tails()) {
+    tails.push_back(row[index_of(tail_name)]);
+  }
+  cracker.ApplyInsert(rid, row[index_of(head)], std::move(tails));
+}
+
+Status Database::Insert(std::string_view table,
+                        std::span<const std::int64_t> row) {
+  std::vector<TypedColumn<std::int64_t>*> cols;
+  AIDX_ASSIGN_OR_RETURN(Table * t, PrepareRowDml(table, &cols));
+  if (row.size() != cols.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values; table '" + t->name() +
+        "' has " + std::to_string(cols.size()) + " columns");
+  }
+  // Validate phase done — nothing below can fail (row-atomicity).
+  const row_id_t rid = t->AllocateRowId();
+  const std::vector<std::string>& names = t->column_names();
   // Paths first: ones that have not materialized yet snapshot the base
   // span now, while it is still untouched.
-  ForEachPathOf(table, column,
-                [&](AccessPath<std::int64_t>& path) { path.Insert(value); });
-  DropSideways(table);
-  col->Append(value);
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    ForEachPathOf(table, names[i],
+                  [&](AccessPath<std::int64_t>& path) { path.Insert(row[i]); });
+  }
+  ForEachSidewaysOf(table, [&](std::string_view head,
+                               SidewaysCracker<std::int64_t>& cracker) {
+    LogSidewaysInsert(cracker, head, names, row, rid);
+  });
+  for (std::size_t i = 0; i < cols.size(); ++i) cols[i]->Append(row[i]);
+  t->CommitAppendedRow(rid);
+  return Status::OK();
+}
+
+Status Database::Insert(std::string_view table, std::string_view column,
+                        std::int64_t value) {
+  AIDX_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  AIDX_RETURN_NOT_OK(t->GetColumn(column).status());
+  if (t->num_columns() != 1) {
+    return Status::InvalidArgument(
+        "column-addressed insert into multi-column table '" + t->name() +
+        "' would desynchronize rows; use the row overload");
+  }
+  return Insert(table, std::span<const std::int64_t>(&value, 1));
+}
+
+Status Database::InsertBatch(std::string_view table,
+                             std::span<const std::int64_t> rows) {
+  std::vector<TypedColumn<std::int64_t>*> cols;
+  AIDX_ASSIGN_OR_RETURN(Table * t, PrepareRowDml(table, &cols));
+  const std::size_t width = cols.size();
+  if (rows.size() % width != 0) {
+    return Status::InvalidArgument(
+        "row-major batch of " + std::to_string(rows.size()) +
+        " values is not a multiple of " + std::to_string(width) + " columns");
+  }
+  const std::size_t num_rows = rows.size() / width;
+  if (num_rows == 0) return Status::OK();
+  // Validate phase done — nothing below can fail (row-atomicity).
+  const std::vector<std::string>& names = t->column_names();
+  std::vector<std::int64_t> column_values(num_rows);
+  for (std::size_t c = 0; c < width; ++c) {
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      column_values[r] = rows[r * width + c];
+    }
+    ForEachPathOf(table, names[c], [&](AccessPath<std::int64_t>& path) {
+      path.InsertBatch(column_values);
+    });
+  }
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    const std::span<const std::int64_t> row = rows.subspan(r * width, width);
+    const row_id_t rid = t->AllocateRowId();
+    ForEachSidewaysOf(table, [&](std::string_view head,
+                                 SidewaysCracker<std::int64_t>& cracker) {
+      LogSidewaysInsert(cracker, head, names, row, rid);
+    });
+    for (std::size_t c = 0; c < width; ++c) cols[c]->Append(row[c]);
+    t->CommitAppendedRow(rid);
+  }
   return Status::OK();
 }
 
 Status Database::InsertBatch(std::string_view table, std::string_view column,
                              std::span<const std::int64_t> values) {
-  AIDX_ASSIGN_OR_RETURN(TypedColumn<std::int64_t> * col, MutableColumn(table, column));
-  ForEachPathOf(table, column,
-                [&](AccessPath<std::int64_t>& path) { path.InsertBatch(values); });
-  DropSideways(table);
-  col->AppendMany(values);
-  return Status::OK();
+  AIDX_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  AIDX_RETURN_NOT_OK(t->GetColumn(column).status());
+  if (t->num_columns() != 1) {
+    return Status::InvalidArgument(
+        "column-addressed batch insert into multi-column table '" + t->name() +
+        "' would desynchronize rows; use the row-major overload");
+  }
+  return InsertBatch(table, values);
 }
 
 Result<bool> Database::Delete(std::string_view table, std::string_view column,
                               std::int64_t value) {
-  AIDX_ASSIGN_OR_RETURN(TypedColumn<std::int64_t> * col, MutableColumn(table, column));
-  auto& values = col->MutableValues();
-  const auto victim = std::find(values.begin(), values.end(), value);
-  if (victim == values.end()) return false;  // no tuple matches: no-op
-  ForEachPathOf(table, column, [&](AccessPath<std::int64_t>& path) {
-    const bool removed = path.Delete(value);
-    // Paths mirror the base multiset, so the tuple must exist there too.
-    AIDX_DCHECK(removed);
-    (void)removed;
+  std::vector<TypedColumn<std::int64_t>*> cols;
+  AIDX_ASSIGN_OR_RETURN(Table * t, PrepareRowDml(table, &cols));
+  const std::vector<std::string>& names = t->column_names();
+  std::size_t key_index = names.size();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == column) {
+      key_index = i;
+      break;
+    }
+  }
+  if (key_index == names.size()) {
+    return t->GetColumn(column).status();  // NotFound with the usual message
+  }
+  const auto key_values = cols[key_index]->Values();
+  const auto victim = std::find(key_values.begin(), key_values.end(), value);
+  if (victim == key_values.end()) return false;  // no row matches: no-op
+  const std::size_t pos =
+      static_cast<std::size_t>(victim - key_values.begin());
+  // Validate phase done — nothing below can fail (row-atomicity). Capture
+  // the row before any structure mutates.
+  std::vector<std::int64_t> row(cols.size());
+  for (std::size_t i = 0; i < cols.size(); ++i) row[i] = cols[i]->Values()[pos];
+  const row_id_t rid = t->row_ids()[pos];
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    ForEachPathOf(table, names[i], [&](AccessPath<std::int64_t>& path) {
+      const bool removed = path.Delete(row[i]);
+      // Paths mirror the base multiset, so the tuple must exist there too.
+      AIDX_DCHECK(removed);
+      (void)removed;
+    });
+  }
+  ForEachSidewaysOf(table, [&](std::string_view head,
+                               SidewaysCracker<std::int64_t>& cracker) {
+    std::size_t head_index = names.size();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == head) {
+        head_index = i;
+        break;
+      }
+    }
+    AIDX_CHECK(head_index < names.size());
+    cracker.ApplyDelete(rid, row[head_index]);
   });
-  DropSideways(table);
-  values.erase(victim);
+  AIDX_CHECK_OK(t->EraseRow(pos));
   return true;
 }
 
@@ -157,17 +293,18 @@ Result<SidewaysCracker<std::int64_t>*> Database::SidewaysFor(std::string_view ta
   const auto it = sideways_.find(key);
   if (it != sideways_.end()) return it->second.get();
 
-  AIDX_ASSIGN_OR_RETURN(const auto head_span, ColumnSpan(table, head));
-  auto cracker = std::make_unique<SidewaysCracker<std::int64_t>>(head_span);
-  // Register every other int64 column of the table as a potential tail.
   AIDX_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  AIDX_RETURN_NOT_OK(t->GetTypedColumn<std::int64_t>(head).status());
+  // Table-backed mode: spans are fetched per access and DML feeds the
+  // cracker's operation log, so maps survive writes.
+  auto cracker = std::make_unique<SidewaysCracker<std::int64_t>>(
+      t, std::string(head));
+  // Register every other int64 column of the table as a potential tail.
   for (const std::string& name : t->column_names()) {
     if (name == head) continue;
     AIDX_ASSIGN_OR_RETURN(Column * col, t->GetColumn(name));
     if (col->type() != DataType::kInt64) continue;
-    AIDX_ASSIGN_OR_RETURN(const TypedColumn<std::int64_t>* typed,
-                          static_cast<const Column*>(col)->As<std::int64_t>());
-    AIDX_RETURN_NOT_OK(cracker->AddTailColumn(name, typed->Values()));
+    AIDX_RETURN_NOT_OK(cracker->AddTailColumn(name));
   }
   SidewaysCracker<std::int64_t>* raw = cracker.get();
   sideways_.emplace(std::move(key), std::move(cracker));
@@ -180,6 +317,20 @@ Result<ProjectionResult<std::int64_t>> Database::SelectProject(
   AIDX_ASSIGN_OR_RETURN(SidewaysCracker<std::int64_t> * cracker,
                         SidewaysFor(table, head));
   return cracker->SelectProject(pred, tails);
+}
+
+Result<const SidewaysCracker<std::int64_t>*> Database::SidewaysState(
+    std::string_view table, std::string_view head) const {
+  std::string key;
+  key.reserve(table.size() + head.size() + 1);
+  key.append(table);
+  key.push_back('.');
+  key.append(head);
+  const auto it = sideways_.find(key);
+  if (it == sideways_.end()) {
+    return Status::NotFound("no cached sideways cracker for '" + key + "'");
+  }
+  return static_cast<const SidewaysCracker<std::int64_t>*>(it->second.get());
 }
 
 void Database::ResetAdaptiveState() {

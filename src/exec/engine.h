@@ -13,18 +13,29 @@
 // participates, so two configs share an adaptive structure only when they
 // are identical; knob sweeps need no ResetAdaptiveState between configs.
 //
-// DML: Insert/Delete/InsertBatch keep the base column and every cached
-// access path of that column consistent — the write is applied to each
-// cached path through the uniform AccessPath update interface (each
-// strategy absorbing it under its own policy, docs/UPDATES.md) and then
-// to the catalog's base storage, in that order, so paths that still
-// borrow the base span snapshot it before it changes. Writes are
-// column-level (this is a column-store substrate): deleting from one
-// column of a multi-column table desynchronizes the table's row count,
-// which SelectProject will then report as an error. Sideways crackers
-// borrow the catalog's storage, so any write to a table drops that
-// table's cached sideways state (rebuilt from the new base on the next
-// SelectProject).
+// DML is **row-atomic**: Insert/InsertBatch take whole rows (one value per
+// column, column_names() order), Delete removes the first base row whose
+// key column matches, and each row mutation applies to *all* of the
+// table's columns, cached access paths, and sideways cracker maps, or to
+// none of them. One row id is allocated per row (storage/table.h) and
+// shared by every structure. The partial-failure contract: every fallible
+// step — name resolution, type checks, row-width validation, the
+// test-only DML fault hook — runs before the first byte moves, so a
+// failed DML call leaves the table, its paths, and its sideways maps
+// observably unchanged (no torn rows). The apply phase orders paths ->
+// sideways log -> base, so paths that still borrow the base span snapshot
+// it before it changes.
+//
+// Sideways cracker maps are NOT dropped on DML: crackers run in
+// table-backed mode (sideways/sideways.h) and each row mutation is
+// appended to their operation log, folded into live maps by ripple moves
+// on the next touch — cracked investment survives writes. Only AddColumn
+// (a schema change) still drops a table's cached sideways state.
+//
+// Single-column tables keep the historical column-addressed DML surface
+// (Insert/InsertBatch with a column name); on a multi-column table those
+// overloads return InvalidArgument instead of silently desynchronizing
+// the table — use the row overloads.
 //
 // The type is move-only and not thread-safe: callers wanting concurrency
 // wrap paths in SerializedAccessPath (exec/serialized_path.h), shard by
@@ -36,16 +47,20 @@
 // Usage:
 //   Database db;
 //   AIDX_CHECK_OK(db.CreateTable("sales"));
-//   AIDX_CHECK_OK(db.AddColumn("sales", "amount", std::move(values)));
+//   AIDX_CHECK_OK(db.AddColumn("sales", "amount", std::move(amounts)));
+//   AIDX_CHECK_OK(db.AddColumn("sales", "qty", std::move(qtys)));
 //   auto n = db.Count("sales", "amount",
 //                     RangePredicate<std::int64_t>::Between(lo, hi),
 //                     StrategyConfig::Crack());   // cracks as a side effect
-//   AIDX_CHECK_OK(db.Insert("sales", "amount", 42));   // all paths observe it
+//   AIDX_CHECK_OK(db.Insert("sales", {42, 7}));  // row-atomic, all paths
+//   AIDX_CHECK_OK(db.Delete("sales", "amount", 42).status());
 // All entry points return Status/Result rather than throwing; errors are
 // NotFound / AlreadyExists / InvalidArgument from util/status.h.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <initializer_list>
 #include <memory>
 #include <span>
 #include <string>
@@ -84,29 +99,52 @@ struct PathKeyHash {
 /// templates support int32/float64 — see tests).
 class Database {
  public:
+  /// Test-only fault injection: called once per column during the validate
+  /// phase of every DML call; a non-OK return aborts the call before any
+  /// mutation (the partial-failure contract's executable witness).
+  using DmlFaultHook =
+      std::function<Status(std::string_view table, std::string_view column)>;
+
   Database() = default;
   AIDX_DEFAULT_MOVE_ONLY(Database);
 
   /// Creates a table; fails on duplicates.
   Status CreateTable(std::string name);
 
-  /// Adds an int64 column to a table.
+  /// Adds an int64 column to a table. A schema change: the table's cached
+  /// sideways state is dropped (rebuilt with the new column registered).
   Status AddColumn(std::string_view table, std::string column,
                    std::vector<std::int64_t> values);
 
-  /// Appends one fresh value to `table`.`column`: every cached access path
-  /// of that column absorbs the insert under its own strategy, then the
-  /// catalog's base column grows, so paths created later see it too.
+  /// Appends one row (one value per column, column_names() order),
+  /// row-atomically: every cached access path of every column absorbs its
+  /// value, every cached sideways cracker logs the row, then the base
+  /// columns grow — all under a single fresh row id.
+  Status Insert(std::string_view table, std::span<const std::int64_t> row);
+  Status Insert(std::string_view table, std::initializer_list<std::int64_t> row) {
+    return Insert(table, std::span<const std::int64_t>(row.begin(), row.size()));
+  }
+
+  /// Column-addressed compatibility form: valid only on single-column
+  /// tables (where it is the one-wide row insert); InvalidArgument on
+  /// multi-column tables, which require the row overload.
   Status Insert(std::string_view table, std::string_view column,
                 std::int64_t value);
 
-  /// Batch insert with the same consistency contract as Insert.
+  /// Batch row insert: `rows` is row-major, size a multiple of the column
+  /// count. Same row-atomic contract as Insert; validation covers the
+  /// whole batch before any row applies.
+  Status InsertBatch(std::string_view table,
+                     std::span<const std::int64_t> rows);
+
+  /// Column-addressed compatibility form; single-column tables only.
   Status InsertBatch(std::string_view table, std::string_view column,
                      std::span<const std::int64_t> values);
 
-  /// Deletes one tuple equal to `value` (multiset semantics) from the base
-  /// column and every cached access path of that column. Returns ok(false)
-  /// when no tuple matches — the column is untouched in that case.
+  /// Deletes the first base row (lowest position) whose `column` value
+  /// equals `value`, row-atomically across all columns, cached paths, and
+  /// sideways maps. Returns ok(false) when no row matches — the table is
+  /// untouched in that case.
   Result<bool> Delete(std::string_view table, std::string_view column,
                       std::int64_t value);
 
@@ -123,7 +161,8 @@ class Database {
                      const StrategyConfig& config);
 
   /// σ_pred(head) projecting `tails`, via sideways cracking (one cracker
-  /// map per projected column, adaptively aligned).
+  /// map per projected column, adaptively aligned, maintained
+  /// incrementally under DML).
   Result<ProjectionResult<std::int64_t>> SelectProject(
       std::string_view table, std::string_view head,
       const RangePredicate<std::int64_t>& pred,
@@ -133,8 +172,18 @@ class Database {
   /// maps); base tables are untouched.
   void ResetAdaptiveState();
 
+  /// Installs (or clears, with nullptr) the DML fault hook. Tests only.
+  void SetDmlFaultHook(DmlFaultHook hook) { dml_fault_hook_ = std::move(hook); }
+
+  /// Read-only view of a cached sideways cracker (tests inspect map
+  /// survival and stats through this); NotFound when no SelectProject has
+  /// materialized one for (table, head).
+  Result<const SidewaysCracker<std::int64_t>*> SidewaysState(
+      std::string_view table, std::string_view head) const;
+
   const Catalog& catalog() const { return catalog_; }
   std::size_t num_cached_paths() const { return paths_.size(); }
+  std::size_t num_cached_sideways() const { return sideways_.size(); }
 
  private:
   Result<std::span<const std::int64_t>> ColumnSpan(std::string_view table,
@@ -144,8 +193,11 @@ class Database {
                                             const StrategyConfig& config);
   Result<SidewaysCracker<std::int64_t>*> SidewaysFor(std::string_view table,
                                                      std::string_view head);
-  Result<TypedColumn<std::int64_t>*> MutableColumn(std::string_view table,
-                                                   std::string_view column);
+  /// The validate phase shared by every DML entry point: resolves the
+  /// table and *all* its columns (type-checked), fires the fault hook.
+  /// After it returns OK, the apply phase cannot fail.
+  Result<Table*> PrepareRowDml(std::string_view table,
+                               std::vector<TypedColumn<std::int64_t>*>* cols);
   /// Applies `write` to every cached access path of (table, column).
   template <typename Fn>
   void ForEachPathOf(std::string_view table, std::string_view column, Fn&& write) {
@@ -153,8 +205,26 @@ class Database {
       if (key.table == table && key.column == column) write(*path);
     }
   }
-  /// Drops the table's cached sideways crackers (they borrow base storage,
-  /// which a write is about to change).
+  /// Visits every cached sideways cracker of `table` as (head_name, cracker).
+  template <typename Fn>
+  void ForEachSidewaysOf(std::string_view table, Fn&& fn) {
+    std::string prefix;
+    prefix.reserve(table.size() + 1);
+    prefix.append(table);
+    prefix.push_back('.');
+    for (auto& [key, cracker] : sideways_) {
+      if (key.starts_with(prefix)) {
+        fn(std::string_view(key).substr(prefix.size()), *cracker);
+      }
+    }
+  }
+  /// Logs one appended row into `cracker` (head value + tails in the
+  /// cracker's registration order).
+  static void LogSidewaysInsert(SidewaysCracker<std::int64_t>& cracker,
+                                std::string_view head,
+                                const std::vector<std::string>& names,
+                                std::span<const std::int64_t> row, row_id_t rid);
+  /// Drops the table's cached sideways crackers (schema changes only).
   void DropSideways(std::string_view table);
 
   Catalog catalog_;
@@ -163,6 +233,7 @@ class Database {
       paths_;
   std::unordered_map<std::string, std::unique_ptr<SidewaysCracker<std::int64_t>>>
       sideways_;
+  DmlFaultHook dml_fault_hook_;
 };
 
 }  // namespace aidx

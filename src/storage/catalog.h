@@ -14,6 +14,12 @@
 namespace aidx {
 
 /// Owns tables and resolves them by name.
+///
+/// Pointer stability is part of the contract: a Table* returned by
+/// CreateTable/GetTable stays valid until that table is dropped (tables are
+/// heap-allocated; rehashing or moving the catalog never relocates them).
+/// Table-backed sideways crackers and other cached structures hold these
+/// pointers across queries and DML.
 class Catalog {
  public:
   Catalog() = default;

@@ -30,6 +30,11 @@ class Column {
   /// Bytes of value payload held by this column.
   virtual std::size_t MemoryUsageBytes() const = 0;
 
+  /// Erases the value at `pos`, preserving the order of the rest. Type-
+  /// erased so Table::EraseRow can remove one row across heterogeneous
+  /// columns in lock step (row-atomic DML).
+  virtual void EraseRow(std::size_t pos) = 0;
+
   /// Down-casts to the typed column; returns an error on a type mismatch.
   template <ColumnValue T>
   Result<TypedColumn<T>*> As() {
@@ -70,6 +75,10 @@ class TypedColumn final : public Column {
   void Append(T value) { values_.push_back(value); }
   void AppendMany(std::span<const T> values) {
     values_.insert(values_.end(), values.begin(), values.end());
+  }
+  void EraseRow(std::size_t pos) override {
+    AIDX_DCHECK(pos < values_.size());
+    values_.erase(values_.begin() + static_cast<std::ptrdiff_t>(pos));
   }
 
   /// Unchecked element access (hot paths); bounds are the caller's contract.

@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include "util/logging.h"
+
 namespace aidx {
 
 Status Table::AddColumn(std::unique_ptr<Column> column) {
@@ -19,8 +21,52 @@ Status Table::AddColumn(std::unique_ptr<Column> column) {
         "column '" + col_name + "' has " + std::to_string(column->size()) +
         " rows; table '" + name_ + "' has " + std::to_string(num_rows()));
   }
+  const bool first_column = columns_.empty();
   order_.push_back(col_name);
   columns_.emplace(col_name, std::move(column));
+  // The first column defines the row count; identity assigned before it
+  // existed (an empty table) is stale, so let it re-initialize on demand.
+  if (first_column) {
+    row_ids_.clear();
+    row_ids_initialized_ = false;
+  }
+  return Status::OK();
+}
+
+void Table::EnsureRowIds() {
+  if (row_ids_initialized_) return;
+  const std::size_t n = num_rows();
+  row_ids_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) row_ids_[i] = static_cast<row_id_t>(i);
+  if (next_row_id_ < n) next_row_id_ = static_cast<row_id_t>(n);
+  row_ids_initialized_ = true;
+}
+
+std::span<const row_id_t> Table::row_ids() {
+  EnsureRowIds();
+  return row_ids_;
+}
+
+row_id_t Table::AllocateRowId() {
+  EnsureRowIds();
+  return next_row_id_++;
+}
+
+void Table::CommitAppendedRow(row_id_t rid) {
+  AIDX_DCHECK(row_ids_initialized_);
+  AIDX_DCHECK(row_ids_.size() + 1 == num_rows())
+      << "CommitAppendedRow before every column appended the row";
+  row_ids_.push_back(rid);
+}
+
+Status Table::EraseRow(std::size_t pos) {
+  if (pos >= num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(pos) + " out of range; table '" +
+                              name_ + "' has " + std::to_string(num_rows()) + " rows");
+  }
+  EnsureRowIds();
+  for (auto& [_, col] : columns_) col->EraseRow(pos);
+  row_ids_.erase(row_ids_.begin() + static_cast<std::ptrdiff_t>(pos));
   return Status::OK();
 }
 

@@ -2,19 +2,26 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/column.h"
+#include "storage/types.h"
 #include "util/result.h"
 #include "util/status.h"
 
 namespace aidx {
 
-/// A table is a bag of equal-length columns addressed by name. Rows are
-/// identified positionally (row_id_t), the column-store convention.
+/// A table is a bag of equal-length columns addressed by name, plus one row
+/// identity per position. Positions shift as rows are erased; row ids are
+/// stable for a row's lifetime and unique for the table's — they are what
+/// lets cached structures (sideways cracker maps) address tuples across
+/// base reorganizations. The table allocates ids; the Database facade is
+/// the single writer that keeps columns, ids, and cached structures in a
+/// row-atomic lock step (docs/UPDATES.md §5).
 class Table {
  public:
   explicit Table(std::string name) : name_(std::move(name)) {}
@@ -51,13 +58,34 @@ class Table {
   /// Column names in insertion order.
   const std::vector<std::string>& column_names() const { return order_; }
 
+  /// Row ids by position (lazily initialized to 0..num_rows-1 the first
+  /// time row identity is needed). Invalidated by the next DML call.
+  std::span<const row_id_t> row_ids();
+
+  /// Hands out the next fresh row id (one allocation per row, shared by
+  /// every column and cached structure of that row).
+  row_id_t AllocateRowId();
+
+  /// Records the id of a row whose values have just been appended to every
+  /// column. Call exactly once per row, after the appends.
+  void CommitAppendedRow(row_id_t rid);
+
+  /// Erases the row at `pos` from every column (order-preserving) and
+  /// retires its id.
+  Status EraseRow(std::size_t pos);
+
   /// Total payload bytes across columns.
   std::size_t MemoryUsageBytes() const;
 
  private:
+  void EnsureRowIds();
+
   std::string name_;
   std::vector<std::string> order_;
   std::unordered_map<std::string, std::unique_ptr<Column>> columns_;
+  std::vector<row_id_t> row_ids_;
+  row_id_t next_row_id_ = 0;
+  bool row_ids_initialized_ = false;
 };
 
 }  // namespace aidx

@@ -24,6 +24,12 @@
 // arbitrary occurrence and is what the engine's multiset-semantics DML
 // surface uses. Row ids are optional; value-addressed updates work without
 // them, rid-addressed deletes require them.
+//
+// The ripple mechanism extends to tandem pairs: sideways cracker maps
+// (sideways/cracker_map.h) apply the same RippleInsert/RippleDelete moves
+// with the projected tail value and rid riding as the kernel payload,
+// which is what keeps maps maintainable under row-atomic DML instead of
+// being dropped on every write.
 #pragma once
 
 #include <algorithm>

@@ -356,7 +356,7 @@ TEST(CrackKernelStructuresTest, CrackerMapTandemTailUnderEveryKernel) {
       ASSERT_EQ(r.size(), ScanCount<std::int64_t>(head, pred))
           << CrackKernelName(kernel) << " query " << q;
       for (std::size_t p = r.begin; p < r.end; ++p) {
-        ASSERT_EQ(map.tail()[p], static_cast<double>(map.head()[p]) * 2.5)
+        ASSERT_EQ(map.tail_at(p), static_cast<double>(map.head()[p]) * 2.5)
             << CrackKernelName(kernel) << " tail detached at " << p;
       }
     }

@@ -302,9 +302,10 @@ TEST(DatabaseTest, InsertBatchMatchesScalarInserts) {
   EXPECT_EQ(*count, ScanCount<std::int64_t>(values, p));
 }
 
-// Writes drop the table's cached sideways crackers (they borrow base
-// storage); the next SelectProject rebuilds from the new base.
-TEST(DatabaseTest, SidewaysRebuiltAfterWrites) {
+// DML does not drop the table's cached sideways crackers: row mutations
+// flow into the cracker's operation log and live maps fold them in
+// incrementally (ripple moves), so the cracked investment survives writes.
+TEST(DatabaseTest, SidewaysMaintainedIncrementallyAcrossWrites) {
   Database db;
   ASSERT_TRUE(db.CreateTable("t").ok());
   ASSERT_TRUE(db.AddColumn("t", "k", {10, 20, 30}).ok());
@@ -313,16 +314,28 @@ TEST(DatabaseTest, SidewaysRebuiltAfterWrites) {
   auto before = db.SelectProject("t", "k", p, {"a"});
   ASSERT_TRUE(before.ok());
   EXPECT_EQ(before->num_rows, 3u);
-  // Write to both columns so the table's row count stays aligned.
-  ASSERT_TRUE(db.Insert("t", "k", 25).ok());
-  ASSERT_TRUE(db.Insert("t", "a", 9).ok());
+  // Row-atomic writes: one value per column, column_names() order (k, a).
+  ASSERT_TRUE(db.Insert("t", {25, 9}).ok());
   auto after = db.SelectProject("t", "k", p, {"a"});
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(after->num_rows, 4u);
-  // A write to only one column desynchronizes the table; SelectProject
-  // reports it instead of answering from stale maps.
-  ASSERT_TRUE(db.Insert("t", "k", 15).ok());
-  EXPECT_FALSE(db.SelectProject("t", "k", p, {"a"}).ok());
+  // The cracker (and its map) survived the write instead of rebuilding.
+  auto state = db.SidewaysState("t", "k");
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ((*state)->stats().maps_created, 1u);
+  EXPECT_EQ((*state)->stats().dml_inserts, 1u);
+  // Column-addressed writes on a multi-column table are rejected — they
+  // would desynchronize rows (the old footgun this API closed).
+  EXPECT_TRUE(db.Insert("t", "k", 15).IsInvalidArgument());
+  EXPECT_TRUE(db.InsertBatch("t", "k", std::vector<std::int64_t>{1, 2})
+                  .IsInvalidArgument());
+  // Row-atomic delete removes the first row whose key column matches.
+  auto deleted = db.Delete("t", "k", 25);
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_TRUE(*deleted);
+  auto final_res = db.SelectProject("t", "k", p, {"a"});
+  ASSERT_TRUE(final_res.ok());
+  EXPECT_EQ(final_res->num_rows, 3u);
 }
 
 TEST(OperatorsTest, GatherAndPermutation) {

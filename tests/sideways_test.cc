@@ -40,9 +40,8 @@ TEST(CrackerMapTest, TailTravelsWithHead) {
     const auto p = Pred::Between(a, a + 30);
     const PositionRange r = map.Select(p);
     const auto h = map.head();
-    const auto t = map.tail();
     for (std::size_t i = 0; i < n; ++i) {
-      ASSERT_EQ(t[i], h[i] * 1000) << "pair broke at " << i;
+      ASSERT_EQ(map.tail_at(i), h[i] * 1000) << "pair broke at " << i;
     }
     for (std::size_t i = r.begin; i < r.end; ++i) {
       ASSERT_TRUE(p.Matches(h[i]));
@@ -81,7 +80,10 @@ TEST(CrackerMapTest, DeterministicLayoutUnderSameOps) {
   }
   // Byte-identical layouts: the property adaptive alignment relies on.
   EXPECT_TRUE(std::equal(a.head().begin(), a.head().end(), b.head().begin()));
-  EXPECT_TRUE(std::equal(a.tail().begin(), a.tail().end(), b.tail().begin()));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.tail_at(i), b.tail_at(i));
+    ASSERT_EQ(a.rid_at(i), b.rid_at(i));
+  }
 }
 
 TEST(CrackerMapTest, RejectsLengthMismatch) {
@@ -215,8 +217,8 @@ TEST(SidewaysBudgetTest, EvictsLruUnderPressure) {
   const auto t1 = RandomValues(1000, 100, 22);
   const auto t2 = RandomValues(1000, 100, 23);
   const auto t3 = RandomValues(1000, 100, 24);
-  // Budget fits exactly two maps (each 1000 * 2 * 8 bytes).
-  Cracker cracker(head, {.storage_budget_bytes = 2 * 1000 * 2 * sizeof(std::int64_t)});
+  // Budget fits exactly two maps (each 1000 rows of head + tail + rid).
+  Cracker cracker(head, {.storage_budget_bytes = 2 * 1000 * Map::kBytesPerRow});
   ASSERT_TRUE(cracker.AddTailColumn("t1", t1).ok());
   ASSERT_TRUE(cracker.AddTailColumn("t2", t2).ok());
   ASSERT_TRUE(cracker.AddTailColumn("t3", t3).ok());
@@ -241,7 +243,7 @@ TEST(SidewaysBudgetTest, QueryWiderThanBudgetFails) {
   const auto head = RandomValues(1000, 100, 25);
   const auto t1 = RandomValues(1000, 100, 26);
   const auto t2 = RandomValues(1000, 100, 27);
-  Cracker cracker(head, {.storage_budget_bytes = 1000 * 2 * sizeof(std::int64_t)});
+  Cracker cracker(head, {.storage_budget_bytes = 1000 * Map::kBytesPerRow});
   ASSERT_TRUE(cracker.AddTailColumn("t1", t1).ok());
   ASSERT_TRUE(cracker.AddTailColumn("t2", t2).ok());
   auto res = cracker.SelectProject(Pred::Between(10, 20), {"t1", "t2"});
