@@ -5,16 +5,22 @@
 // The kernels rewrite the innermost loops every strategy bottoms out in;
 // this bench is the falsifiable record of what that buys. Sections:
 //
+//   calibration     what the startup kernel autotuner picked on this host
+//                   (ISA, per-width kernel and min-piece threshold)
 //   crack_in_two    raw single-crack throughput per kernel × type × tandem
 //   crack_in_three  raw three-way crack throughput per kernel
+//   three_way       single-pass crack-in-three vs the two-pass decomposition
+//                   it replaced, per kernel
 //   piece_sweep     throughput vs piece size (shows the dispatch crossover:
-//                   below kPredicationMinPiece all kernels run branchy)
+//                   below the min-piece threshold all kernels run branchy)
 //   convergence     full random-range workloads through CrackerColumn
 //                   (crack and stochastic), per kernel
-//   headline        predicated vs branchy on uniform-random int32 — the
-//                   acceptance metric; `note` documents the outcome either
-//                   way so a regression (or predication-hostile hardware)
-//                   is visible in the recorded JSON, not silent
+//   headline        the acceptance metrics on uniform-random int32:
+//                   predicated vs branchy (PR 4), simd vs unrolled and
+//                   single-pass vs two-pass three-way (PR 8); `note`
+//                   documents the outcome either way so a regression (or
+//                   vector-hostile hardware) is visible in the recorded
+//                   JSON, not silent
 //
 // `--json` writes BENCH_e12_crack_kernels.json (see bench_common.h);
 // scripts/check.sh --bench-smoke runs this at reduced scale on every push.
@@ -30,6 +36,7 @@
 #include "bench_common.h"
 #include "core/crack_ops.h"
 #include "core/cracker_column.h"
+#include "core/kernel_autotune.h"
 #include "exec/access_path.h"
 #include "storage/types.h"
 #include "util/rng.h"
@@ -47,6 +54,7 @@ constexpr CrackKernel kKernels[] = {
     CrackKernel::kBranchy,
     CrackKernel::kPredicated,
     CrackKernel::kPredicatedUnrolled,
+    CrackKernel::kSimd,
 };
 
 bool EnvIsSet(const char* name) {
@@ -96,10 +104,12 @@ double MRowsPerSec(std::size_t rows, double seconds) {
   return seconds > 0 ? static_cast<double>(rows) / seconds / 1e6 : 0;
 }
 
+/// Runs the crack-in-two matrix for one type; `mrows_out`, when non-null,
+/// receives the non-tandem throughput per kernel (indexed by enumerator).
 template <ColumnValue T>
 void RawCrackInTwoSection(const char* type_name, std::size_t n,
                           bench::JsonReport* json, TablePrinter* table,
-                          double* branchy_out, double* predicated_out) {
+                          double* mrows_out) {
   const std::uint64_t domain = 1u << 20;
   const auto base = UniformValues<T>(n, domain, 7);
   const Cut<T> cut{static_cast<T>(domain / 2), CutKind::kLess};
@@ -132,13 +142,8 @@ void RawCrackInTwoSection(const char* type_name, std::size_t n,
       table->AddRow({std::string(type_name) + (tandem ? "+rid" : ""),
                      CrackKernelName(kernel), FormatSeconds(secs),
                      std::to_string(static_cast<long long>(mrows)) + " Mrows/s"});
-      if (!tandem) {
-        if (kernel == CrackKernel::kBranchy && branchy_out != nullptr) {
-          *branchy_out = mrows;
-        }
-        if (kernel == CrackKernel::kPredicated && predicated_out != nullptr) {
-          *predicated_out = mrows;
-        }
+      if (!tandem && mrows_out != nullptr) {
+        mrows_out[static_cast<std::size_t>(kernel)] = mrows;
       }
     }
   }
@@ -166,6 +171,81 @@ void RawCrackInThreeSection(std::size_t n, bench::JsonReport* json,
     table->AddRow({"int64 3-way", CrackKernelName(kernel), FormatSeconds(secs),
                    std::to_string(static_cast<long long>(mrows)) + " Mrows/s"});
   }
+}
+
+/// Single-pass crack-in-three against the two-pass decomposition it
+/// replaced, on uniform-random int32 with thirds cuts. Returns (via outs)
+/// the two legs of the three_way headline: single-pass at the host default
+/// (kAuto resolved) and two-pass at kPredicatedUnrolled — the exact
+/// configuration CrackInThree used before the single-pass landed.
+void ThreeWaySection(std::size_t n, bench::JsonReport* json,
+                     TablePrinter* table, double* single_default_out,
+                     double* twopass_unrolled_out) {
+  const std::uint64_t domain = 1u << 20;
+  const auto base = UniformValues<std::int32_t>(n, domain, 17);
+  const Cut<std::int32_t> lo{static_cast<std::int32_t>(domain / 3),
+                             CutKind::kLess};
+  const Cut<std::int32_t> hi{static_cast<std::int32_t>(2 * domain / 3),
+                             CutKind::kLessEq};
+  const CrackKernel resolved =
+      ResolveCrackKernel(CrackKernel::kAuto, sizeof(std::int32_t));
+  for (const bool single : {true, false}) {
+    for (const CrackKernel kernel : kKernels) {
+      const double secs = BestOfThree<std::int32_t>(
+          base, [&](std::span<std::int32_t> work) {
+            if (single) {
+              CrackInThree<std::int32_t>(work, {}, lo, hi, kernel);
+            } else {
+              CrackInThreeTwoPass<std::int32_t>(work, {}, lo, hi, kernel);
+            }
+          });
+      const double mrows = MRowsPerSec(n, secs);
+      json->AddRow("three_way")
+          .Set("type", "int32")
+          .Set("mode", single ? "single_pass" : "two_pass")
+          .Set("kernel", CrackKernelName(kernel))
+          .Set("rows", n)
+          .Set("seconds", secs)
+          .Set("mrows_per_s", mrows);
+      table->AddRow({single ? "single-pass" : "two-pass",
+                     CrackKernelName(kernel), FormatSeconds(secs),
+                     std::to_string(static_cast<long long>(mrows)) +
+                         " Mrows/s"});
+      if (single && kernel == resolved && single_default_out != nullptr) {
+        *single_default_out = mrows;
+      }
+      if (!single && kernel == CrackKernel::kPredicatedUnrolled &&
+          twopass_unrolled_out != nullptr) {
+        *twopass_unrolled_out = mrows;
+      }
+    }
+  }
+}
+
+/// Records what the startup autotuner decided on this host, so archived
+/// bench JSON ties every number to the kernel defaults in force.
+void CalibrationSection(bench::JsonReport* json) {
+  const KernelCalibration& cal = Calibrate();
+  auto& row = json->AddRow("calibration");
+  row.Set("calibrated", cal.calibrated)
+      .Set("simd_available", cal.simd_available)
+      .Set("isa", cal.isa)
+      .Set("kernel_w4", CrackKernelName(cal.kernel_w4))
+      .Set("kernel_w8", CrackKernelName(cal.kernel_w8))
+      .Set("min_piece_w4", cal.min_piece_w4)
+      .Set("min_piece_w8", cal.min_piece_w8);
+  for (std::size_t k = 0; k < kNumCrackKernels; ++k) {
+    const auto kernel = static_cast<CrackKernel>(k);
+    row.Set(std::string("sweep_w4_") + CrackKernelName(kernel), cal.mrows_w4[k])
+        .Set(std::string("sweep_w8_") + CrackKernelName(kernel),
+             cal.mrows_w8[k]);
+  }
+  std::cout << "calibration: isa=" << cal.isa << " w4="
+            << CrackKernelName(cal.kernel_w4) << "(mp" << cal.min_piece_w4
+            << ") w8=" << CrackKernelName(cal.kernel_w8) << "(mp"
+            << cal.min_piece_w8 << ")"
+            << (cal.calibrated ? "" : " [calibration disabled: fallbacks]")
+            << "\n\n";
 }
 
 void PieceSweepSection(std::size_t total, bench::JsonReport* json,
@@ -236,27 +316,36 @@ void ConvergenceSection(bench::JsonReport* json, TablePrinter* table) {
 
 int main(int argc, char** argv) {
   bench::JsonReport json("e12_crack_kernels", argc, argv);
-  bench::PrintHeader("E12 crack kernels: branchy vs predicated vs unrolled",
-                     "DaMoN'14 predication argument over the EDBT'12 kernels");
+  bench::PrintHeader(
+      "E12 crack kernels: branchy vs predicated vs unrolled vs simd",
+      "DaMoN'14 predication argument over the EDBT'12 kernels");
   const std::size_t raw_n = RawKernelRows();
   std::cout << "raw kernels: " << raw_n << " uniform values; convergence: "
             << bench::ColumnSize() << " values x " << bench::NumQueries()
             << " queries\n\n";
 
-  double branchy_i32 = 0;
-  double predicated_i32 = 0;
+  CalibrationSection(&json);
+
+  double i32_mrows[kNumCrackKernels] = {};
 
   std::cout << "raw crack-in-two throughput:\n";
   TablePrinter raw({"input", "kernel", "time", "throughput"});
-  RawCrackInTwoSection<std::int32_t>("int32", raw_n, &json, &raw, &branchy_i32,
-                                     &predicated_i32);
-  RawCrackInTwoSection<std::int64_t>("int64", raw_n, &json, &raw, nullptr, nullptr);
-  RawCrackInTwoSection<double>("float64", raw_n, &json, &raw, nullptr, nullptr);
+  RawCrackInTwoSection<std::int32_t>("int32", raw_n, &json, &raw, i32_mrows);
+  RawCrackInTwoSection<std::int64_t>("int64", raw_n, &json, &raw, nullptr);
+  RawCrackInTwoSection<double>("float64", raw_n, &json, &raw, nullptr);
   RawCrackInThreeSection(raw_n, &json, &raw);
   raw.Print(std::cout);
 
-  std::cout << "\npiece-size sweep (Mrows/s: branchy | predicated | unrolled):\n";
-  TablePrinter sweep({"piece", "branchy", "predicated", "unrolled"});
+  std::cout << "\nsingle-pass crack-in-three vs two-pass decomposition:\n";
+  TablePrinter three({"mode", "kernel", "time", "throughput"});
+  double single_default = 0;
+  double twopass_unrolled = 0;
+  ThreeWaySection(raw_n, &json, &three, &single_default, &twopass_unrolled);
+  three.Print(std::cout);
+
+  std::cout << "\npiece-size sweep "
+               "(Mrows/s: branchy | predicated | unrolled | simd):\n";
+  TablePrinter sweep({"piece", "branchy", "predicated", "unrolled", "simd"});
   PieceSweepSection(std::min(raw_n, std::size_t{1} << 22), &json, &sweep);
   sweep.Print(std::cout);
 
@@ -265,10 +354,21 @@ int main(int argc, char** argv) {
   ConvergenceSection(&json, &conv);
   conv.Print(std::cout);
 
-  // Headline acceptance metric: predicated vs branchy, uniform int32.
-  const double speedup =
-      branchy_i32 > 0 ? predicated_i32 / branchy_i32 : 0;
+  // Headline acceptance metrics on uniform int32: predicated vs branchy
+  // (PR 4), simd vs unrolled and single-pass vs two-pass three-way (PR 8).
+  const double branchy_i32 =
+      i32_mrows[static_cast<std::size_t>(CrackKernel::kBranchy)];
+  const double predicated_i32 =
+      i32_mrows[static_cast<std::size_t>(CrackKernel::kPredicated)];
+  const double unrolled_i32 =
+      i32_mrows[static_cast<std::size_t>(CrackKernel::kPredicatedUnrolled)];
+  const double simd_i32 = i32_mrows[static_cast<std::size_t>(CrackKernel::kSimd)];
+  const double speedup = branchy_i32 > 0 ? predicated_i32 / branchy_i32 : 0;
   const bool wins = speedup > 1.0;
+  const double simd_vs_unrolled = unrolled_i32 > 0 ? simd_i32 / unrolled_i32 : 0;
+  const double three_way_speedup =
+      twopass_unrolled > 0 ? single_default / twopass_unrolled : 0;
+  const bool simd_active = Calibrate().simd_available;
   std::string note;
   if (wins) {
     note = "predicated beats branchy on uniform-random int32 at this scale";
@@ -281,17 +381,31 @@ int main(int argc, char** argv) {
            "dominate; rerun at >= 10M rows before reading this as a kernel "
            "regression";
   }
+  if (!simd_active) {
+    note += "; kSimd ran the scalar blocked classifier (no AVX2/NEON), so "
+            "simd_vs_unrolled ~1.0 is expected, not a regression";
+  }
   json.AddRow("headline")
       .Set("type", "int32")
       .Set("rows", raw_n)
       .Set("branchy_mrows_per_s", branchy_i32)
       .Set("predicated_mrows_per_s", predicated_i32)
+      .Set("unrolled_mrows_per_s", unrolled_i32)
+      .Set("simd_mrows_per_s", simd_i32)
       .Set("speedup", speedup)
       .Set("predicated_beats_branchy", wins)
+      .Set("simd_available", simd_active)
+      .Set("simd_vs_unrolled", simd_vs_unrolled)
+      .Set("three_way_single_mrows_per_s", single_default)
+      .Set("three_way_twopass_mrows_per_s", twopass_unrolled)
+      .Set("three_way_speedup", three_way_speedup)
       .Set("note", note);
   std::cout << "\nheadline: predicated/branchy speedup on int32 = " << speedup
             << (wins ? " (predicated wins)" : " — see note in JSON output")
-            << "\n";
+            << "\nheadline: simd/unrolled crack-in-two on int32 = "
+            << simd_vs_unrolled << (simd_active ? "" : " (scalar fallback)")
+            << "\nheadline: single-pass/two-pass crack-in-three = "
+            << three_way_speedup << "\n";
 
   json.Write();
   return 0;

@@ -35,7 +35,24 @@ HEADLINE_REQUIREMENTS = {
         ("headline", "branchy_mrows_per_s", "positive"),
         ("headline", "predicated_mrows_per_s", "positive"),
         ("headline", "speedup", "positive"),
+        # PR 8 headlines. Positivity only: on hosts without AVX2/NEON the
+        # kSimd rows run the scalar blocked classifier, so ratios near 1.0
+        # are legitimate there (the `note` field says which case applies).
+        ("headline", "unrolled_mrows_per_s", "positive"),
+        ("headline", "simd_mrows_per_s", "positive"),
+        ("headline", "simd_vs_unrolled", "positive"),
+        ("headline", "three_way_single_mrows_per_s", "positive"),
+        ("headline", "three_way_twopass_mrows_per_s", "positive"),
+        ("headline", "three_way_speedup", "positive"),
+        ("headline", "simd_available", "bool"),
         ("headline", "note", "string"),
+        # The single-pass vs two-pass matrix and the autotuner's decision
+        # must be on record with every archived run.
+        ("three_way", "mrows_per_s", "positive"),
+        ("calibration", "kernel_w4", "string"),
+        ("calibration", "kernel_w8", "string"),
+        ("calibration", "isa", "string"),
+        ("calibration", "min_piece_w4", "positive"),
     ],
     "e11_parallel_scaling": [
         ("headline", "striped_qps", "positive"),

@@ -45,7 +45,11 @@ struct CrackerColumnOptions {
   std::uint64_t stochastic_seed = 0x5DEECE66DULL;
   /// Partitioning kernel used by every crack this column performs (see
   /// core/crack_ops.h; tiny pieces always fall back to the branchy sweep).
-  CrackKernel kernel = CrackKernel::kBranchy;
+  /// kAuto resolves to the host-calibrated kernel at the dispatch point.
+  CrackKernel kernel = CrackKernel::kAuto;
+  /// Piece size below which non-branchy kernels fall back to the branchy
+  /// sweep; 0 = the calibrated process default (kernel_autotune).
+  std::size_t predication_min_piece = 0;
 };
 
 /// Result of a cracked select. `core` positions all qualify; `edges` (at
@@ -259,7 +263,7 @@ class CrackerColumn {
     return piece.begin +
            CrackInTwo<T>(MutableValuesIn({piece.begin, piece.end}),
                          MutableRowIdsIn({piece.begin, piece.end}), cut,
-                         options_.kernel);
+                         options_.kernel, options_.predication_min_piece);
   }
 
   /// Three-way variant: partitions the piece around both cuts at once and
@@ -268,7 +272,8 @@ class CrackerColumn {
                                     const Cut<T>& lo_cut, const Cut<T>& hi_cut) {
     return CrackInThree<T>(MutableValuesIn({piece.begin, piece.end}),
                            MutableRowIdsIn({piece.begin, piece.end}), lo_cut,
-                           hi_cut, options_.kernel);
+                           hi_cut, options_.kernel,
+                           options_.predication_min_piece);
   }
 
   /// Publishes a cut realized through CrackPieceAt/CrackPieceInThreeAt.
@@ -360,7 +365,8 @@ class CrackerColumn {
     const std::size_t split =
         piece.begin + CrackInTwo<T>(MutableValuesIn({piece.begin, piece.end}),
                                     MutableRowIdsIn({piece.begin, piece.end}), cut,
-                                    options_.kernel);
+                                    options_.kernel,
+                                    options_.predication_min_piece);
     ++stats_.num_crack_in_two;
     stats_.values_touched += piece.end - piece.begin;
     index_.AddCut(cut, split);
@@ -379,10 +385,10 @@ class CrackerColumn {
     const ThreeWaySplit split =
         CrackInThree<T>(MutableValuesIn({piece.begin, piece.end}),
                         MutableRowIdsIn({piece.begin, piece.end}), lo_cut, hi_cut,
-                        options_.kernel);
+                        options_.kernel, options_.predication_min_piece);
     ++stats_.num_crack_in_three;
-    stats_.values_touched += CrackInThreeValuesTouched(
-        piece.end - piece.begin, split.lower_end, options_.kernel);
+    stats_.values_touched +=
+        CrackInThreeValuesTouched(piece.end - piece.begin);
     const std::size_t lower_pos = piece.begin + split.lower_end;
     const std::size_t upper_pos = piece.begin + split.middle_end;
     index_.AddCut(lo_cut, lower_pos);
@@ -404,7 +410,7 @@ class CrackerColumn {
       const std::size_t split = piece->begin +
           CrackInTwo<T>(MutableValuesIn({piece->begin, piece->end}),
                         MutableRowIdsIn({piece->begin, piece->end}), random_cut,
-                        options_.kernel);
+                        options_.kernel, options_.predication_min_piece);
       ++stats_.num_stochastic_cracks;
       stats_.values_touched += span_size;
       index_.AddCut(random_cut, split);

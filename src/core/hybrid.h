@@ -78,7 +78,9 @@ class HybridIndex {
     int radix_bits = 6;
     bool with_row_ids = true;
     /// Crack kernel applied by every cracked segment (core/crack_ops.h).
-    CrackKernel kernel = CrackKernel::kBranchy;
+    CrackKernel kernel = CrackKernel::kAuto;
+    /// Branchy-fallback piece threshold; 0 = calibrated process default.
+    std::size_t predication_min_piece = 0;
   };
 
   /// "HCC", "HCS", ... — the paper's naming for a policy pair.
@@ -108,7 +110,9 @@ class HybridIndex {
                               {.mode = options_.initial_mode,
                                .radix_bits = options_.radix_bits,
                                .with_row_ids = options_.with_row_ids,
-                               .kernel = options_.kernel}),
+                               .kernel = options_.kernel,
+                               .predication_min_piece =
+                                   options_.predication_min_piece}),
           n});
     }
   }
@@ -292,7 +296,9 @@ class HybridIndex {
                             {.mode = options_.initial_mode,
                              .radix_bits = options_.radix_bits,
                              .with_row_ids = options_.with_row_ids,
-                             .kernel = options_.kernel}),
+                             .kernel = options_.kernel,
+                             .predication_min_piece =
+                                 options_.predication_min_piece}),
         n});
   }
 
@@ -328,7 +334,9 @@ class HybridIndex {
                                                {.mode = options_.final_mode,
                                                 .radix_bits = options_.radix_bits,
                                                 .with_row_ids = options_.with_row_ids,
-                                                .kernel = options_.kernel}),
+                                                .kernel = options_.kernel,
+                                                .predication_min_piece =
+                                                    options_.predication_min_piece}),
                            bounds});
     ++stats_.final_segments;
   }
@@ -368,7 +376,9 @@ class HybridIndex {
                                            {.mode = options_.final_mode,
                                             .radix_bits = options_.radix_bits,
                                             .with_row_ids = options_.with_row_ids,
-                                            .kernel = options_.kernel}),
+                                            .kernel = options_.kernel,
+                                            .predication_min_piece =
+                                                options_.predication_min_piece}),
                        gap};
       // Eager policies (sort/radix) pay their organization cost at merge
       // time — the "what's merged gets organized" half of the hybrid idea.

@@ -44,7 +44,9 @@ class SegmentOrganizer {
     bool with_row_ids = true;
     /// Crack kernel for the lazily organized policies (kCrack / kRadix's
     /// intra-cluster cracks); kSort never cracks.
-    CrackKernel kernel = CrackKernel::kBranchy;
+    CrackKernel kernel = CrackKernel::kAuto;
+    /// Branchy-fallback piece threshold; 0 = calibrated process default.
+    std::size_t predication_min_piece = 0;
   };
 
   /// Adopts the segment's arrays. `row_ids` may be empty when
@@ -53,8 +55,10 @@ class SegmentOrganizer {
                    Options options)
       : options_(options),
         crack_(std::move(values), std::move(row_ids),
-               CrackerColumnOptions{.with_row_ids = options.with_row_ids,
-                                    .kernel = options.kernel}) {}
+               CrackerColumnOptions{
+                   .with_row_ids = options.with_row_ids,
+                   .kernel = options.kernel,
+                   .predication_min_piece = options.predication_min_piece}) {}
 
   AIDX_DEFAULT_MOVE_ONLY(SegmentOrganizer);
 

@@ -86,8 +86,13 @@ struct StrategyConfig {
   bool with_row_ids = false;
   // Partitioning kernel for every crack the strategy performs (crack /
   // stochastic / hybrid / parallel-crack; core/crack_ops.h). One switch
-  // flips the innermost loops under all cracked structures.
-  CrackKernel crack_kernel = CrackKernel::kBranchy;
+  // flips the innermost loops under all cracked structures. The kAuto
+  // default resolves to the host-calibrated kernel at the dispatch point
+  // (core/kernel_autotune.h); pin a concrete kernel for differentials.
+  CrackKernel crack_kernel = CrackKernel::kAuto;
+  // Piece size below which non-branchy kernels fall back to the branchy
+  // sweep; 0 defers to the calibrated process default.
+  std::size_t predication_min_piece = 0;
   // kParallelCrack intra-partition latch protocol: piece-granularity
   // striped rwlatches (default) or the one-mutex-per-partition baseline
   // kept for differential testing, plus the per-partition stripe-table
@@ -148,7 +153,10 @@ struct StrategyConfig {
         kind == StrategyKind::kParallelCrack ||
         (kind == StrategyKind::kHybrid && (hybrid_initial != OrganizeMode::kSort ||
                                            hybrid_final != OrganizeMode::kSort));
-    const std::string kernel_suffix = cracks ? CrackKernelSuffix(crack_kernel) : "";
+    std::string kernel_suffix = cracks ? CrackKernelSuffix(crack_kernel) : "";
+    if (cracks && predication_min_piece > 0) {
+      kernel_suffix += "+mp" + std::to_string(predication_min_piece);
+    }
     switch (kind) {
       case StrategyKind::kFullScan:
         return "scan";
@@ -438,6 +446,7 @@ class CrackPath final : public AccessPath<T> {
       options.with_row_ids = config_.with_row_ids;
       options.min_piece_size = config_.min_piece_size;
       options.kernel = config_.crack_kernel;
+      options.predication_min_piece = config_.predication_min_piece;
       if (config_.kind == StrategyKind::kStochasticCrack) {
         options.stochastic_threshold = config_.stochastic_threshold;
         options.stochastic_seed = config_.seed;
@@ -538,7 +547,9 @@ class HybridPath final : public AccessPath<T> {
                                 .final_mode = config_.hybrid_final,
                                 .radix_bits = config_.radix_bits,
                                 .with_row_ids = config_.with_row_ids,
-                                .kernel = config_.crack_kernel});
+                                .kernel = config_.crack_kernel,
+                                .predication_min_piece =
+                                    config_.predication_min_piece});
     }
     return *index_;
   }
@@ -593,6 +604,8 @@ class ParallelCrackPath final : public AccessPath<T> {
       options.column_options.with_row_ids = config_.with_row_ids;
       options.column_options.min_piece_size = config_.min_piece_size;
       options.column_options.kernel = config_.crack_kernel;
+      options.column_options.predication_min_piece =
+          config_.predication_min_piece;
       options.splitter_seed = config_.seed;
       options.merge_policy = config_.merge_policy;
       options.gradual_budget = config_.gradual_budget;

@@ -32,6 +32,7 @@ std::size_t PathKeyHash::operator()(const PathKey& key) const {
   h = HashCombine(h, c.gradual_budget);
   h = HashCombine(h, static_cast<std::size_t>(c.with_row_ids));
   h = HashCombine(h, static_cast<std::size_t>(c.crack_kernel));
+  h = HashCombine(h, c.predication_min_piece);
   h = HashCombine(h, static_cast<std::size_t>(c.latch_mode));
   h = HashCombine(h, c.latch_stripes);
   h = HashCombine(h, static_cast<std::size_t>(c.write_mode));

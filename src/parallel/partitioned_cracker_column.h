@@ -1369,8 +1369,7 @@ class PartitionedCrackerColumn {
       shard.striped_stats.num_crack_in_three.fetch_add(
           1, std::memory_order_relaxed);
       shard.striped_stats.values_touched.fetch_add(
-          CrackInThreeValuesTouched(0, 0, copts.kernel),
-          std::memory_order_relaxed);
+          CrackInThreeValuesTouched(0), std::memory_order_relaxed);
       out->begin = piece.begin;
       out->end = piece.begin;
       return true;
@@ -1405,8 +1404,7 @@ class PartitionedCrackerColumn {
     shard.striped_stats.num_crack_in_three.fetch_add(1,
                                                      std::memory_order_relaxed);
     shard.striped_stats.values_touched.fetch_add(
-        CrackInThreeValuesTouched(piece.end - piece.begin, split.lower_end,
-                                  copts.kernel),
+        CrackInThreeValuesTouched(piece.end - piece.begin),
         std::memory_order_relaxed);
     out->begin = lower_pos;
     out->end = upper_pos;

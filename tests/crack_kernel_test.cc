@@ -28,13 +28,16 @@ constexpr CrackKernel kAllKernels[] = {
     CrackKernel::kBranchy,
     CrackKernel::kPredicated,
     CrackKernel::kPredicatedUnrolled,
+    CrackKernel::kSimd,
 };
 
 // The non-branchy kernels under differential test against the branchy
-// oracle.
+// oracle. kSimd is always in the list: on hosts without AVX2/NEON it
+// resolves to the scalar blocked classifier, which must be just as exact.
 constexpr CrackKernel kVariantKernels[] = {
     CrackKernel::kPredicated,
     CrackKernel::kPredicatedUnrolled,
+    CrackKernel::kSimd,
 };
 
 template <typename T>
@@ -76,8 +79,9 @@ TYPED_TEST_SUITE(CrackKernelTypedTest, ValueTypes);
 
 TYPED_TEST(CrackKernelTypedTest, CrackInTwoMatchesBranchyOracle) {
   using T = TypeParam;
-  const std::size_t sizes[] = {0,  1,  2,   3,   63,  64,   65,  127,
-                               128, 129, 255, 256, 1000, 4096, 5000};
+  const std::size_t sizes[] = {0,   1,   2,   3,   31,  32,   33,   63,
+                               64,  65,  127, 128, 129, 255,  256,  1000,
+                               4096, 5000};
   const std::uint64_t domains[] = {1, 8, 1u << 16};  // all-equal .. mostly-distinct
   Rng rng(1234);
   for (const std::size_t n : sizes) {
@@ -134,7 +138,10 @@ TYPED_TEST(CrackKernelTypedTest, CrackInTwoKeepsPayloadsInTandem) {
 TYPED_TEST(CrackKernelTypedTest, CrackInThreeMatchesBranchyOracle) {
   using T = TypeParam;
   Rng rng(4321);
-  for (const std::size_t n : {0u, 1u, 100u, 127u, 128u, 1000u, 4096u}) {
+  // 511..513 straddle the SIMD crack-in-three block threshold (2 * 256);
+  // 10000 is enough whole blocks to exercise the double-ended main loop.
+  for (const std::size_t n :
+       {0u, 1u, 100u, 127u, 128u, 511u, 512u, 513u, 1000u, 4096u, 10000u}) {
     for (const std::uint64_t domain : {4u, 1u << 12}) {
       const std::vector<T> base = RandomValues<T>(n, domain, &rng);
       const T a = ValueDomain<T>::Make(rng.NextBounded(domain));
@@ -158,6 +165,124 @@ TYPED_TEST(CrackKernelTypedTest, CrackInThreeMatchesBranchyOracle) {
           ASSERT_EQ(lo.Below(got[i]), in_a) << CrackKernelName(kernel) << " @" << i;
           ASSERT_EQ(!hi.Below(got[i]), in_c) << CrackKernelName(kernel) << " @" << i;
           ASSERT_EQ(got[i], base[rids[i]]) << CrackKernelName(kernel) << " @" << i;
+        }
+      }
+    }
+  }
+}
+
+// The single-pass crack-in-three must produce exactly the split points of
+// the two-pass decomposition it replaced, for every kernel, every cut-kind
+// combination, and duplicate-heavy data — with per-region multisets equal
+// (element order within a region is kernel-specific and not part of the
+// contract).
+TYPED_TEST(CrackKernelTypedTest, CrackInThreeMatchesTwoPassOracle) {
+  using T = TypeParam;
+  Rng rng(888);
+  for (const std::size_t n : {63u, 256u, 511u, 512u, 513u, 3000u, 10000u}) {
+    for (const std::uint64_t domain : {8u, 1u << 12}) {  // dup-heavy .. distinct
+      const std::vector<T> base = RandomValues<T>(n, domain, &rng);
+      const T raw_a = ValueDomain<T>::Make(rng.NextBounded(domain));
+      const T raw_b = ValueDomain<T>::Make(rng.NextBounded(domain));
+      const T lo_v = std::min(raw_a, raw_b);
+      const T hi_v = std::max(raw_a, raw_b);
+      for (const CutKind lo_kind : {CutKind::kLess, CutKind::kLessEq}) {
+        for (const CutKind hi_kind : {CutKind::kLess, CutKind::kLessEq}) {
+          if (lo_v == hi_v &&
+              lo_kind == CutKind::kLessEq && hi_kind == CutKind::kLess) {
+            continue;  // illegal pair: empty middle below the lower cut
+          }
+          const Cut<T> lo{lo_v, lo_kind};
+          const Cut<T> hi{hi_v, hi_kind};
+          std::vector<T> oracle = base;
+          const ThreeWaySplit want = CrackInThreeTwoPass<T>(
+              oracle, {}, lo, hi, CrackKernel::kBranchy);
+          for (const CrackKernel kernel : kAllKernels) {
+            for (const bool tandem : {false, true}) {
+              std::vector<T> got = base;
+              std::vector<row_id_t> rids(tandem ? n : 0);
+              for (std::size_t i = 0; i < rids.size(); ++i) {
+                rids[i] = static_cast<row_id_t>(i);
+              }
+              const ThreeWaySplit split = CrackInThree<T>(
+                  got, std::span<row_id_t>(rids), lo, hi, kernel);
+              ASSERT_EQ(split.lower_end, want.lower_end)
+                  << CrackKernelName(kernel) << " n=" << n
+                  << " tandem=" << tandem;
+              ASSERT_EQ(split.middle_end, want.middle_end)
+                  << CrackKernelName(kernel) << " n=" << n;
+              // Per-region multisets match the two-pass oracle's regions.
+              auto region_sorted = [](std::vector<T> v, std::size_t b,
+                                      std::size_t e) {
+                std::sort(v.begin() + b, v.begin() + e);
+                return std::vector<T>(v.begin() + b, v.begin() + e);
+              };
+              for (const auto& [b, e] :
+                   {std::pair<std::size_t, std::size_t>{0, split.lower_end},
+                    {split.lower_end, split.middle_end},
+                    {split.middle_end, n}}) {
+                ASSERT_EQ(region_sorted(got, b, e), region_sorted(oracle, b, e))
+                    << CrackKernelName(kernel) << " n=" << n << " region ["
+                    << b << "," << e << ")";
+              }
+              for (std::size_t i = 0; tandem && i < n; ++i) {
+                ASSERT_EQ(got[i], base[rids[i]])
+                    << CrackKernelName(kernel) << " payload detached @" << i;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Pieces rarely start at an aligned address: crack subspans at odd offsets
+// and lengths around the vector width, with guard bands on both sides. Any
+// kernel store that strays outside its piece corrupts a neighbouring piece
+// in production; here it trips the guard check.
+TYPED_TEST(CrackKernelTypedTest, UnalignedPieceOffsetsStayInBounds) {
+  using T = TypeParam;
+  constexpr std::size_t kGuard = 64;
+  const T kSentinel = ValueDomain<T>::Make(0xABCDEF);
+  Rng rng(246);
+  for (const std::size_t offset : {1u, 3u, 7u, 9u, 31u, 33u}) {
+    for (const std::size_t len :
+         {7u, 8u, 15u, 16u, 17u, 31u, 32u, 33u, 255u, 256u, 257u, 511u,
+          512u, 513u, 2048u}) {
+      const std::vector<T> piece = RandomValues<T>(len, 1u << 10, &rng);
+      std::vector<T> buf(offset + len + kGuard, kSentinel);
+      const Cut<T> cut{ValueDomain<T>::Make(1u << 9), CutKind::kLess};
+      const Cut<T> hi{ValueDomain<T>::Make(3u << 8), CutKind::kLessEq};
+      for (const CrackKernel kernel : kAllKernels) {
+        // Crack-in-two on the unaligned subspan.
+        std::copy(piece.begin(), piece.end(), buf.begin() + offset);
+        std::vector<T> oracle = piece;
+        const std::size_t want =
+            CrackInTwo<T>(oracle, {}, cut, CrackKernel::kBranchy);
+        const std::size_t split = CrackInTwo<T>(
+            std::span<T>(buf).subspan(offset, len), {}, cut, kernel);
+        ASSERT_EQ(split, want)
+            << CrackKernelName(kernel) << " off=" << offset << " len=" << len;
+        for (std::size_t i = 0; i < offset; ++i) {
+          ASSERT_EQ(buf[i], kSentinel)
+              << CrackKernelName(kernel) << " wrote before piece @" << i;
+        }
+        for (std::size_t i = offset + len; i < buf.size(); ++i) {
+          ASSERT_EQ(buf[i], kSentinel)
+              << CrackKernelName(kernel) << " wrote after piece @" << i;
+        }
+        // Crack-in-three on the same subspan.
+        std::copy(piece.begin(), piece.end(), buf.begin() + offset);
+        CrackInThree<T>(std::span<T>(buf).subspan(offset, len), {}, cut, hi,
+                        kernel);
+        for (std::size_t i = 0; i < offset; ++i) {
+          ASSERT_EQ(buf[i], kSentinel)
+              << CrackKernelName(kernel) << " 3-way wrote before piece @" << i;
+        }
+        for (std::size_t i = offset + len; i < buf.size(); ++i) {
+          ASSERT_EQ(buf[i], kSentinel)
+              << CrackKernelName(kernel) << " 3-way wrote after piece @" << i;
         }
       }
     }
