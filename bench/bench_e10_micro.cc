@@ -12,6 +12,7 @@
 #include "index/btree.h"
 #include "index/scan.h"
 #include "index/sorted_index.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "workload/data_generator.h"
 
@@ -155,6 +156,36 @@ BENCHMARK(BM_CrackedQuerySequence)->Arg(0)->Iterations(20);
 BENCHMARK(BM_CrackedQuerySequence)->Arg(10)->Iterations(20);
 BENCHMARK(BM_CrackedQuerySequence)->Arg(100)->Iterations(10);
 BENCHMARK(BM_CrackedQuerySequence)->Arg(1000)->Iterations(5);
+
+// Fault-injection gate cost (docs/ROBUSTNESS.md). The disarmed fast path
+// is a single relaxed atomic load; rebuilding with -DAIDX_NO_FAILPOINTS=ON
+// compiles the same call to nothing, so running this pair in both builds
+// measures the framework's true overhead floor. The cracked-query numbers
+// above already run through gated piece loops, so the two builds also
+// disagree by exactly the end-to-end gate cost there.
+void BM_FailpointDisarmedGate(benchmark::State& state) {
+  failpoints::crack_piece.Disarm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(failpoints::crack_piece.Inject().ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailpointDisarmedGate);
+
+void BM_FailpointArmedDelayZero(benchmark::State& state) {
+  // Armed-but-inert cost: the slow path with a zero-delay policy — what a
+  // chaos run pays on gates whose fault never fires this evaluation.
+  FailpointPolicy policy;
+  policy.mode = FailpointMode::kDelay;
+  policy.delay_micros = 0;
+  failpoints::crack_piece.Arm(policy);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(failpoints::crack_piece.Inject().ok());
+  }
+  failpoints::crack_piece.Disarm();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailpointArmedDelayZero);
 
 void BM_BTreeInsert(benchmark::State& state) {
   Rng rng(7);

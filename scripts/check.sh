@@ -25,6 +25,14 @@
 # trend gate, not a noise gate). CI runs this on every push and uploads
 # the JSONs as artifacts — the repo's recorded perf trajectory. Scale
 # overrides: AIDX_N / AIDX_Q as usual.
+#
+# scripts/check.sh --faults [schedule] runs the fault-injection chaos
+# harness under ThreadSanitizer: same build-tsan/ tree as --tsan, but the
+# concurrency-labeled suites run with AIDX_FAULT_SCHEDULE set to the named
+# schedule (quiet | delays | errors | mixed; default mixed — see
+# docs/ROBUSTNESS.md) and a fresh random AIDX_FAULT_SEED unless one is
+# already exported. The seed is echoed up front and by the harness itself,
+# so any failure reproduces with the printed one-liner.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,6 +47,37 @@ if [[ "${1:-}" == "--tsan" ]]; then
     "$@"
   cmake --build build-tsan -j "$(nproc)"
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+    -L concurrency
+  exit 0
+fi
+
+if [[ "${1:-}" == "--faults" ]]; then
+  shift
+  schedule="mixed"
+  if [[ $# -gt 0 && "${1}" != -* ]]; then
+    schedule="$1"
+    shift
+  fi
+  case "$schedule" in
+    quiet|delays|errors|mixed) ;;
+    *)
+      echo "check.sh --faults: unknown schedule '$schedule'" \
+        "(expected quiet|delays|errors|mixed)" >&2
+      exit 2
+      ;;
+  esac
+  seed="${AIDX_FAULT_SEED:-$((RANDOM * 32768 + RANDOM))}"
+  echo "faults: schedule=$schedule seed=$seed" \
+    "(reproduce: AIDX_FAULT_SEED=$seed scripts/check.sh --faults $schedule)"
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DAIDX_BUILD_BENCHMARKS=OFF \
+    -DAIDX_BUILD_EXAMPLES=OFF \
+    "$@"
+  cmake --build build-tsan -j "$(nproc)"
+  AIDX_FAULT_SCHEDULE="$schedule" AIDX_FAULT_SEED="$seed" \
+    ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
     -L concurrency
   exit 0
 fi

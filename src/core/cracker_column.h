@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <numeric>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/crack_ops.h"
@@ -22,8 +23,11 @@
 #include "index/scan.h"
 #include "storage/predicate.h"
 #include "storage/types.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/macros.h"
+#include "util/query_context.h"
+#include "util/result.h"
 #include "util/rng.h"
 
 namespace aidx {
@@ -167,57 +171,39 @@ class CrackerColumn {
   /// Answers a range predicate, cracking the touched pieces as a side
   /// effect (the adaptive-indexing move). O(piece sizes touched).
   CrackSelect Select(const RangePredicate<T>& pred) {
-    ++stats_.num_selects;
-    CrackSelect out;
-    if (pred.DefinitelyEmpty()) return out;
+    Status ignored;  // no context: the piece gate cannot fire errors
+    return SelectImpl(pred, nullptr, &ignored);
+  }
 
-    const PredicateCuts<T> cuts = CutsForPredicate(pred);
-    if (cuts.has_lower && cuts.has_upper) {
-      // Both bounds: maybe a single crack-in-three when both cuts land in
-      // one piece and neither is realized yet.
-      const CutLookup<T> lo = index_.Lookup(cuts.lower);
-      const CutLookup<T> hi = index_.Lookup(cuts.upper);
-      // Oversized pieces skip this path so stochastic pre-cracking (which
-      // lives in ResolveCut) can subdivide them per bound.
-      const bool too_big_for_three =
-          options_.stochastic_threshold != 0 &&
-          lo.piece.end - lo.piece.begin > options_.stochastic_threshold;
-      if (!lo.exact && !hi.exact && lo.piece.begin == hi.piece.begin &&
-          lo.piece.end == hi.piece.end && !too_big_for_three &&
-          !PieceBelowThreshold(lo.piece)) {
-        ResolveBothInPiece(cuts.lower, cuts.upper, lo.piece, &out);
-        return out;
-      }
-    }
-    std::size_t begin = 0;
-    std::size_t end = values_.size();
-    if (cuts.has_lower) begin = ResolveCut(cuts.lower, /*is_lower=*/true, &out);
-    if (cuts.has_upper) end = ResolveCut(cuts.upper, /*is_lower=*/false, &out);
-    if (end < begin) end = begin;
-    out.core = {begin, end};
-    DedupeEdges(&out);
+  /// Deadline/cancellation-aware Select: the context is checked once per
+  /// piece-level crack. On expiry the walk stops BEFORE the next physical
+  /// crack, so the index stays valid and every crack already performed is
+  /// kept (incremental investment, never rolled back).
+  Result<CrackSelect> Select(const RangePredicate<T>& pred, const QueryContext& ctx) {
+    Status abort;
+    CrackSelect out = SelectImpl(pred, &ctx, &abort);
+    if (!abort.ok()) return abort;
     return out;
   }
 
   /// Count matching rows (cracks as a side effect).
   std::size_t Count(const RangePredicate<T>& pred) {
-    const CrackSelect sel = Select(pred);
-    std::size_t count = sel.core.size();
-    for (int i = 0; i < sel.num_edges; ++i) {
-      count += ScanCount<T>(ValuesIn(sel.edges[i]), pred);
-    }
-    return count;
+    return CountFrom(Select(pred), pred);
+  }
+
+  Result<std::size_t> Count(const RangePredicate<T>& pred, const QueryContext& ctx) {
+    AIDX_ASSIGN_OR_RETURN(const CrackSelect sel, Select(pred, ctx));
+    return CountFrom(sel, pred);
   }
 
   /// Sum of matching values (cracks as a side effect).
   long double Sum(const RangePredicate<T>& pred) {
-    const CrackSelect sel = Select(pred);
-    long double sum = 0;
-    for (std::size_t i = sel.core.begin; i < sel.core.end; ++i) sum += values_[i];
-    for (int i = 0; i < sel.num_edges; ++i) {
-      sum += ScanSum<T>(ValuesIn(sel.edges[i]), pred);
-    }
-    return sum;
+    return SumFrom(Select(pred), pred);
+  }
+
+  Result<long double> Sum(const RangePredicate<T>& pred, const QueryContext& ctx) {
+    AIDX_ASSIGN_OR_RETURN(const CrackSelect sel, Select(pred, ctx));
+    return SumFrom(sel, pred);
   }
 
   /// Appends matching values to `out` in storage order.
@@ -260,6 +246,7 @@ class CrackerColumn {
   /// column's kernel and returns the absolute split position. Registers
   /// nothing: pair with RegisterCut.
   std::size_t CrackPieceAt(const PieceInfo<T>& piece, const Cut<T>& cut) {
+    (void)failpoints::crack_piece.Inject();  // delay-only: no Status path here
     return piece.begin +
            CrackInTwo<T>(MutableValuesIn({piece.begin, piece.end}),
                          MutableRowIdsIn({piece.begin, piece.end}), cut,
@@ -270,6 +257,7 @@ class CrackerColumn {
   /// returns piece-relative split offsets (same contract as CrackInThree).
   ThreeWaySplit CrackPieceInThreeAt(const PieceInfo<T>& piece,
                                     const Cut<T>& lo_cut, const Cut<T>& hi_cut) {
+    (void)failpoints::crack_piece.Inject();  // delay-only: no Status path here
     return CrackInThree<T>(MutableValuesIn({piece.begin, piece.end}),
                            MutableRowIdsIn({piece.begin, piece.end}), lo_cut,
                            hi_cut, options_.kernel,
@@ -346,10 +334,85 @@ class CrackerColumn {
            piece.end - piece.begin <= options_.min_piece_size;
   }
 
+  /// Piece-granularity robustness gate, evaluated immediately before each
+  /// physical crack: deadline/cancellation first (one relaxed load; a
+  /// clock read only when a deadline is set), then the crack.piece
+  /// failpoint. Injected errors surface only when a context is present —
+  /// ctx-free callers cannot propagate Status, so for them the failpoint
+  /// is delay-only.
+  Status PieceGate(const QueryContext* ctx) {
+    if (ctx != nullptr) AIDX_RETURN_NOT_OK(ctx->Check());
+    Status injected = failpoints::crack_piece.Inject();
+    if (AIDX_PREDICT_FALSE(!injected.ok()) && ctx != nullptr) return injected;
+    return Status::OK();
+  }
+
+  /// Shared body of both Select overloads. On a gate failure `*abort` is
+  /// set and the walk stops before the next physical crack; the partial
+  /// CrackSelect returned is meaningless to the caller, but every crack
+  /// already registered stays — the index remains ValidatePieces-clean.
+  CrackSelect SelectImpl(const RangePredicate<T>& pred, const QueryContext* ctx,
+                         Status* abort) {
+    ++stats_.num_selects;
+    CrackSelect out;
+    if (pred.DefinitelyEmpty()) return out;
+
+    const PredicateCuts<T> cuts = CutsForPredicate(pred);
+    if (cuts.has_lower && cuts.has_upper) {
+      // Both bounds: maybe a single crack-in-three when both cuts land in
+      // one piece and neither is realized yet.
+      const CutLookup<T> lo = index_.Lookup(cuts.lower);
+      const CutLookup<T> hi = index_.Lookup(cuts.upper);
+      // Oversized pieces skip this path so stochastic pre-cracking (which
+      // lives in ResolveCut) can subdivide them per bound.
+      const bool too_big_for_three =
+          options_.stochastic_threshold != 0 &&
+          lo.piece.end - lo.piece.begin > options_.stochastic_threshold;
+      if (!lo.exact && !hi.exact && lo.piece.begin == hi.piece.begin &&
+          lo.piece.end == hi.piece.end && !too_big_for_three &&
+          !PieceBelowThreshold(lo.piece)) {
+        ResolveBothInPiece(cuts.lower, cuts.upper, lo.piece, &out, ctx, abort);
+        return out;
+      }
+    }
+    std::size_t begin = 0;
+    std::size_t end = values_.size();
+    if (cuts.has_lower) {
+      begin = ResolveCut(cuts.lower, /*is_lower=*/true, &out, ctx, abort);
+      if (AIDX_PREDICT_FALSE(!abort->ok())) return out;
+    }
+    if (cuts.has_upper) {
+      end = ResolveCut(cuts.upper, /*is_lower=*/false, &out, ctx, abort);
+      if (AIDX_PREDICT_FALSE(!abort->ok())) return out;
+    }
+    if (end < begin) end = begin;
+    out.core = {begin, end};
+    DedupeEdges(&out);
+    return out;
+  }
+
+  std::size_t CountFrom(const CrackSelect& sel, const RangePredicate<T>& pred) const {
+    std::size_t count = sel.core.size();
+    for (int i = 0; i < sel.num_edges; ++i) {
+      count += ScanCount<T>(ValuesIn(sel.edges[i]), pred);
+    }
+    return count;
+  }
+
+  long double SumFrom(const CrackSelect& sel, const RangePredicate<T>& pred) const {
+    long double sum = 0;
+    for (std::size_t i = sel.core.begin; i < sel.core.end; ++i) sum += values_[i];
+    for (int i = 0; i < sel.num_edges; ++i) {
+      sum += ScanSum<T>(ValuesIn(sel.edges[i]), pred);
+    }
+    return sum;
+  }
+
   /// Realizes `cut` (cracking if needed); returns its position. When the
   /// enclosing piece is below the crack threshold, records the piece as an
   /// edge instead and returns the conservative core boundary.
-  std::size_t ResolveCut(const Cut<T>& cut, bool is_lower, CrackSelect* out) {
+  std::size_t ResolveCut(const Cut<T>& cut, bool is_lower, CrackSelect* out,
+                         const QueryContext* ctx, Status* abort) {
     CutLookup<T> look = index_.Lookup(cut);
     if (look.exact) return look.position;
 
@@ -360,7 +423,14 @@ class CrackerColumn {
     }
 
     PieceInfo<T> piece = look.piece;
-    MaybeStochasticPreCrack(cut, &piece);
+    MaybeStochasticPreCrack(cut, &piece, ctx, abort);
+    if (AIDX_PREDICT_FALSE(!abort->ok())) {
+      return is_lower ? piece.end : piece.begin;
+    }
+    if (Status gate = PieceGate(ctx); AIDX_PREDICT_FALSE(!gate.ok())) {
+      *abort = std::move(gate);
+      return is_lower ? piece.end : piece.begin;
+    }
 
     const std::size_t split =
         piece.begin + CrackInTwo<T>(MutableValuesIn({piece.begin, piece.end}),
@@ -375,11 +445,16 @@ class CrackerColumn {
 
   /// Crack-in-three fast path: both cuts in one unrealized piece.
   void ResolveBothInPiece(const Cut<T>& lo_cut, const Cut<T>& hi_cut,
-                          const PieceInfo<T>& piece, CrackSelect* out) {
+                          const PieceInfo<T>& piece, CrackSelect* out,
+                          const QueryContext* ctx, Status* abort) {
     if (lo_cut == hi_cut) {
       // Degenerate (e.g. a < x <= a): realize one cut, empty core.
-      const std::size_t pos = ResolveCut(lo_cut, /*is_lower=*/true, out);
+      const std::size_t pos = ResolveCut(lo_cut, /*is_lower=*/true, out, ctx, abort);
       out->core = {pos, pos};
+      return;
+    }
+    if (Status gate = PieceGate(ctx); AIDX_PREDICT_FALSE(!gate.ok())) {
+      *abort = std::move(gate);
       return;
     }
     const ThreeWaySplit split =
@@ -399,9 +474,14 @@ class CrackerColumn {
   /// Stochastic cracking: repeatedly split oversized pieces at a random
   /// data-driven pivot before the exact crack, so no query leaves a huge
   /// unorganized piece behind (fixes sequential-pattern degeneration).
-  void MaybeStochasticPreCrack(const Cut<T>& target, PieceInfo<T>* piece) {
+  void MaybeStochasticPreCrack(const Cut<T>& target, PieceInfo<T>* piece,
+                               const QueryContext* ctx, Status* abort) {
     if (options_.stochastic_threshold == 0) return;
     while (piece->end - piece->begin > options_.stochastic_threshold) {
+      if (Status gate = PieceGate(ctx); AIDX_PREDICT_FALSE(!gate.ok())) {
+        *abort = std::move(gate);
+        return;
+      }
       const std::size_t span_size = piece->end - piece->begin;
       const T pivot =
           values_[piece->begin + rng_.NextBounded(span_size)];

@@ -67,6 +67,7 @@ class SegmentOrganizer {
   /// values touched (the organization work performed).
   std::size_t EnsureOrganized() {
     if (organized_) return 0;
+    (void)failpoints::organizer_step.Inject();  // delay-only merge-step point
     organized_ = true;
     switch (options_.mode) {
       case OrganizeMode::kCrack:
@@ -113,6 +114,7 @@ class SegmentOrganizer {
   /// row ids are enabled and may be empty otherwise.
   void Append(std::span<const T> values, std::span<const row_id_t> rids) {
     AIDX_CHECK(!options_.with_row_ids || rids.size() == values.size());
+    (void)failpoints::organizer_step.Inject();  // delay-only merge-step point
     auto& vals = MutableValues();
     if (options_.mode == OrganizeMode::kSort && organized_) {
       for (std::size_t i = 0; i < values.size(); ++i) {

@@ -45,6 +45,8 @@
 #include "update/updatable_column.h"
 #include "util/logging.h"
 #include "util/macros.h"
+#include "util/query_context.h"
+#include "util/result.h"
 #include "util/thread_pool.h"
 
 namespace aidx {
@@ -215,6 +217,24 @@ class AccessPath {
   virtual std::size_t Count(const RangePredicate<T>& pred) = 0;
   virtual long double Sum(const RangePredicate<T>& pred) = 0;
 
+  /// Deadline/cancellation-aware variants (docs/ROBUSTNESS.md). The
+  /// default checks the context once at entry — coarse granularity, honest
+  /// for the offline/scan strategies whose work is a single indivisible
+  /// pass. Crack-based paths override these with piece-granularity checks.
+  /// A query that finishes its work returns the answer even if the clock
+  /// ran out meanwhile: expiry prevents *starting* more work, it never
+  /// discards work already done.
+  virtual Result<std::size_t> Count(const RangePredicate<T>& pred,
+                                    const QueryContext& ctx) {
+    AIDX_RETURN_NOT_OK(ctx.Check());
+    return Count(pred);
+  }
+  virtual Result<long double> Sum(const RangePredicate<T>& pred,
+                                  const QueryContext& ctx) {
+    AIDX_RETURN_NOT_OK(ctx.Check());
+    return Sum(pred);
+  }
+
   /// Accepts one fresh tuple and returns the row id assigned to it. When
   /// (and how) the value reaches the physical structure is the strategy's
   /// merge policy; a later Count/Sum observes it in every case.
@@ -240,6 +260,13 @@ class AccessPath {
   /// totals); strategies without a deferred pipeline report their eagerly
   /// applied writes in the same vocabulary.
   virtual UpdateStats update_stats() const = 0;
+
+  /// Approximate bytes of deferred-update state this path holds — pending
+  /// stores, delta buffers, pending merge runs, write buckets. Feeds the
+  /// ResourceGovernor's kPendingUpdates gauge; a heuristic tuple-count
+  /// estimate, not an allocator audit. Paths that apply writes eagerly
+  /// report 0.
+  virtual std::size_t approx_pending_bytes() const { return 0; }
 };
 
 namespace internal {
@@ -335,6 +362,9 @@ class FullSortPath final : public AccessPath<T> {
     return true;
   }
   UpdateStats update_stats() const override { return stats_; }
+  std::size_t approx_pending_bytes() const override {
+    return delta_.size() * sizeof(T);
+  }
 
  private:
   FullSortIndex<T>& Index() {
@@ -393,6 +423,9 @@ class BTreePath final : public AccessPath<T> {
     return true;
   }
   UpdateStats update_stats() const override { return stats_; }
+  std::size_t approx_pending_bytes() const override {
+    return delta_.size() * sizeof(T);
+  }
 
  private:
   BPlusTree<T>& Tree() {
@@ -433,10 +466,25 @@ class CrackPath final : public AccessPath<T> {
   long double Sum(const RangePredicate<T>& pred) override {
     return Column().Sum(pred);
   }
+  // Piece-granularity deadline/cancellation: the context reaches the crack
+  // loops inside UpdatableCrackerColumn.
+  Result<std::size_t> Count(const RangePredicate<T>& pred,
+                            const QueryContext& ctx) override {
+    return Column().Count(pred, ctx);
+  }
+  Result<long double> Sum(const RangePredicate<T>& pred,
+                          const QueryContext& ctx) override {
+    return Column().Sum(pred, ctx);
+  }
   row_id_t Insert(T value) override { return Column().Insert(value); }
   bool Delete(T value) override { return Column().DeleteValue(value); }
   UpdateStats update_stats() const override {
     return column_ ? column_->update_stats() : UpdateStats{};
+  }
+  std::size_t approx_pending_bytes() const override {
+    if (!column_) return 0;
+    return (column_->num_pending_inserts() + column_->num_pending_deletes()) *
+           (sizeof(T) + sizeof(row_id_t));
   }
 
  private:
@@ -492,6 +540,10 @@ class AdaptiveMergePath final : public AccessPath<T> {
     out.deletes_merged = s.values_deleted;
     return out;
   }
+  std::size_t approx_pending_bytes() const override {
+    if (!index_) return 0;
+    return index_->num_pending_inserts() * (sizeof(T) + sizeof(row_id_t));
+  }
 
  private:
   AdaptiveMergingIndex<T>& Index() {
@@ -537,6 +589,10 @@ class HybridPath final : public AccessPath<T> {
     out.deletes_merged = s.values_deleted;
     return out;
   }
+  std::size_t approx_pending_bytes() const override {
+    if (!index_) return 0;
+    return index_->num_pending_inserts() * (sizeof(T) + sizeof(row_id_t));
+  }
 
  private:
   HybridIndex<T>& Index() {
@@ -579,6 +635,16 @@ class ParallelCrackPath final : public AccessPath<T> {
   long double Sum(const RangePredicate<T>& pred) override {
     return Column().Sum(pred);
   }
+  // Shard-granularity deadline/cancellation: the fan-out checks the
+  // context before each shard's resolve (docs/ROBUSTNESS.md).
+  Result<std::size_t> Count(const RangePredicate<T>& pred,
+                            const QueryContext& ctx) override {
+    return Column().Count(pred, ctx);
+  }
+  Result<long double> Sum(const RangePredicate<T>& pred,
+                          const QueryContext& ctx) override {
+    return Column().Sum(pred, ctx);
+  }
   row_id_t Insert(T value) override { return Column().Insert(value); }
   bool Delete(T value) override { return Column().Delete(value); }
   void InsertBatch(std::span<const T> values) override {
@@ -591,6 +657,10 @@ class ParallelCrackPath final : public AccessPath<T> {
     // Forces construction when probed first (thread-safe via call_once);
     // aggregation itself latches per partition.
     return const_cast<ParallelCrackPath*>(this)->Column().AggregatedUpdateStats();
+  }
+  std::size_t approx_pending_bytes() const override {
+    return const_cast<ParallelCrackPath*>(this)->Column().pending_update_count() *
+           (sizeof(T) + sizeof(row_id_t));
   }
 
  private:

@@ -1,7 +1,10 @@
 #include "exec/engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <functional>
+
+#include "util/failpoint.h"
 
 namespace aidx {
 
@@ -42,6 +45,31 @@ std::size_t PathKeyHash::operator()(const PathKey& key) const {
 }
 
 }  // namespace internal
+
+Database::Database() {
+  if (const char* env = std::getenv("AIDX_MEMORY_BUDGET")) {
+    char* end = nullptr;
+    const unsigned long long bytes = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') {
+      governor_->set_budget_bytes(static_cast<std::size_t>(bytes));
+    }
+  }
+}
+
+void Database::SetDmlFaultHook(DmlFaultHook hook) {
+  if (!hook) {
+    failpoints::engine_dml_validate.Disarm();
+    return;
+  }
+  FailpointPolicy policy;
+  policy.mode = FailpointMode::kCallback;
+  policy.handler = [hook = std::move(hook)](std::string_view scope) -> Status {
+    const std::size_t sep = scope.find(kFailpointScopeSep);
+    if (sep == std::string_view::npos) return Status::OK();
+    return hook(scope.substr(0, sep), scope.substr(sep + 1));
+  };
+  failpoints::engine_dml_validate.Arm(policy);
+}
 
 Status Database::CreateTable(std::string name) {
   return catalog_.CreateTable(std::move(name)).status();
@@ -93,9 +121,17 @@ Result<Table*> Database::PrepareRowDml(
                           raw->As<std::int64_t>());
     cols->push_back(typed);
   }
-  if (dml_fault_hook_) {
+  // Validate-phase fault injection: one scoped evaluation per column, so a
+  // policy (or the compat hook) can target "table\x1fcolumn" precisely.
+  // The scope string is only built when the point is armed.
+  if (AIDX_PREDICT_FALSE(failpoints::engine_dml_validate.armed())) {
     for (const std::string& name : t->column_names()) {
-      AIDX_RETURN_NOT_OK(dml_fault_hook_(t->name(), name));
+      std::string scope;
+      scope.reserve(t->name().size() + 1 + name.size());
+      scope.append(t->name());
+      scope.push_back(kFailpointScopeSep);
+      scope.append(name);
+      AIDX_RETURN_NOT_OK(failpoints::engine_dml_validate.Inject(scope));
     }
   }
   return t;
@@ -284,6 +320,29 @@ Result<double> Database::Sum(std::string_view table, std::string_view column,
   return static_cast<double>(path->Sum(pred));
 }
 
+Result<std::size_t> Database::Count(std::string_view table,
+                                    std::string_view column,
+                                    const RangePredicate<std::int64_t>& pred,
+                                    const StrategyConfig& config,
+                                    const QueryContext& ctx) {
+  AIDX_ASSIGN_OR_RETURN(AccessPath<std::int64_t> * path,
+                        PathFor(table, column, config));
+  AIDX_ASSIGN_OR_RETURN(const std::size_t count, path->Count(pred, ctx));
+  SyncResourceGauges();
+  return count;
+}
+
+Result<double> Database::Sum(std::string_view table, std::string_view column,
+                             const RangePredicate<std::int64_t>& pred,
+                             const StrategyConfig& config,
+                             const QueryContext& ctx) {
+  AIDX_ASSIGN_OR_RETURN(AccessPath<std::int64_t> * path,
+                        PathFor(table, column, config));
+  AIDX_ASSIGN_OR_RETURN(const long double sum, path->Sum(pred, ctx));
+  SyncResourceGauges();
+  return static_cast<double>(sum);
+}
+
 Result<SidewaysCracker<std::int64_t>*> Database::SidewaysFor(std::string_view table,
                                                              std::string_view head) {
   std::string key;
@@ -317,7 +376,83 @@ Result<ProjectionResult<std::int64_t>> Database::SelectProject(
     const RangePredicate<std::int64_t>& pred, const std::vector<std::string>& tails) {
   AIDX_ASSIGN_OR_RETURN(SidewaysCracker<std::int64_t> * cracker,
                         SidewaysFor(table, head));
-  return cracker->SelectProject(pred, tails);
+  // Soft-budget admission over the map bytes this query would newly pin.
+  // Denial degrades, never fails: first shed cold sideways state, then —
+  // if the incoming maps still do not fit — answer at scan speed without
+  // materializing anything (scan-plus-crack-later); investment resumes
+  // once pressure clears.
+  std::size_t incoming = 0;
+  for (const std::string& tail : tails) {
+    if (cracker->PeekMap(tail) == nullptr) incoming += cracker->per_map_bytes();
+  }
+  SyncResourceGauges();
+  if (!governor_->Admit(incoming)) {
+    std::string keep;
+    keep.reserve(table.size() + head.size() + 1);
+    keep.append(table);
+    keep.push_back('.');
+    keep.append(head);
+    governor_->SetPressureCallback([this, &keep] { ShedSidewaysExcept(keep); });
+    governor_->MaybeShed(incoming);
+    governor_->SetPressureCallback(nullptr);
+    SyncResourceGauges();
+    if (!governor_->Admit(incoming)) {
+      return ScanProject(table, head, pred, tails);
+    }
+  }
+  auto result = cracker->SelectProject(pred, tails);
+  SyncResourceGauges();
+  return result;
+}
+
+Result<ProjectionResult<std::int64_t>> Database::ScanProject(
+    std::string_view table, std::string_view head,
+    const RangePredicate<std::int64_t>& pred,
+    const std::vector<std::string>& tails) const {
+  if (tails.empty()) {
+    return Status::InvalidArgument("select-project needs at least one tail column");
+  }
+  AIDX_ASSIGN_OR_RETURN(const auto head_span, ColumnSpan(table, head));
+  std::vector<std::span<const std::int64_t>> tail_spans;
+  tail_spans.reserve(tails.size());
+  for (const std::string& tail : tails) {
+    AIDX_ASSIGN_OR_RETURN(const auto span, ColumnSpan(table, tail));
+    tail_spans.push_back(span);
+  }
+  ProjectionResult<std::int64_t> out;
+  out.column_names = tails;
+  out.columns.resize(tails.size());
+  for (std::size_t i = 0; i < head_span.size(); ++i) {
+    if (!pred.Matches(head_span[i])) continue;
+    for (std::size_t c = 0; c < tail_spans.size(); ++c) {
+      out.columns[c].push_back(tail_spans[c][i]);
+    }
+    ++out.num_rows;
+  }
+  return out;
+}
+
+void Database::ShedSidewaysExcept(const std::string& keep) {
+  for (auto it = sideways_.begin(); it != sideways_.end();) {
+    if (it->first != keep) {
+      it = sideways_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Database::SyncResourceGauges() {
+  std::size_t sideways_bytes = 0;
+  for (const auto& [key, cracker] : sideways_) {
+    sideways_bytes += cracker->MemoryUsageBytes();
+  }
+  governor_->SetUsage(ResourceComponent::kSidewaysMaps, sideways_bytes);
+  std::size_t pending_bytes = 0;
+  for (const auto& [key, path] : paths_) {
+    pending_bytes += path->approx_pending_bytes();
+  }
+  governor_->SetUsage(ResourceComponent::kPendingUpdates, pending_bytes);
 }
 
 Result<const SidewaysCracker<std::int64_t>*> Database::SidewaysState(

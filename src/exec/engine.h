@@ -72,6 +72,8 @@
 #include "sideways/sideways.h"
 #include "storage/catalog.h"
 #include "storage/predicate.h"
+#include "util/query_context.h"
+#include "util/resource_governor.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -105,7 +107,9 @@ class Database {
   using DmlFaultHook =
       std::function<Status(std::string_view table, std::string_view column)>;
 
-  Database() = default;
+  /// Reads the AIDX_MEMORY_BUDGET env knob (bytes; soft sideways/pending
+  /// budget) into the resource governor.
+  Database();
   AIDX_DEFAULT_MOVE_ONLY(Database);
 
   /// Creates a table; fails on duplicates.
@@ -160,6 +164,22 @@ class Database {
                      const RangePredicate<std::int64_t>& pred,
                      const StrategyConfig& config);
 
+  /// Deadline/cancellation-aware Count: `ctx` is checked at query entry
+  /// and at piece granularity inside the crack loops. An expired or
+  /// cancelled query returns DeadlineExceeded / Cancelled with the index
+  /// ValidatePieces-clean; cracks realized before expiry are KEPT (they
+  /// are ordinary incremental indexing investment) and pending-update
+  /// merges roll forward or park at a clean boundary, never mid-step.
+  Result<std::size_t> Count(std::string_view table, std::string_view column,
+                            const RangePredicate<std::int64_t>& pred,
+                            const StrategyConfig& config,
+                            const QueryContext& ctx);
+
+  /// Deadline/cancellation-aware Sum; same contract as the Count overload.
+  Result<double> Sum(std::string_view table, std::string_view column,
+                     const RangePredicate<std::int64_t>& pred,
+                     const StrategyConfig& config, const QueryContext& ctx);
+
   /// σ_pred(head) projecting `tails`, via sideways cracking (one cracker
   /// map per projected column, adaptively aligned, maintained
   /// incrementally under DML).
@@ -173,7 +193,20 @@ class Database {
   void ResetAdaptiveState();
 
   /// Installs (or clears, with nullptr) the DML fault hook. Tests only.
-  void SetDmlFaultHook(DmlFaultHook hook) { dml_fault_hook_ = std::move(hook); }
+  /// Compatibility shim over the `engine.dml_validate` failpoint
+  /// (util/failpoint.h): the hook is wrapped in a callback policy keyed by
+  /// a "table\x1fcolumn" scope string, so it is process-global, not
+  /// per-Database — exactly one hook is live at a time.
+  void SetDmlFaultHook(DmlFaultHook hook);
+
+  /// Soft memory budget (bytes) over auxiliary engine state — sideways
+  /// maps and pending update stores. Under pressure the engine sheds cold
+  /// sideways map state and falls back to scan-plus-crack-later for
+  /// projections; it never fails a query. Also settable at construction
+  /// via the AIDX_MEMORY_BUDGET env knob.
+  void SetMemoryBudget(std::size_t bytes) { governor_->set_budget_bytes(bytes); }
+  ResourceGovernor& resource_governor() { return *governor_; }
+  const ResourceGovernor& resource_governor() const { return *governor_; }
 
   /// Read-only view of a cached sideways cracker (tests inspect map
   /// survival and stats through this); NotFound when no SelectProject has
@@ -226,6 +259,17 @@ class Database {
                                 std::span<const std::int64_t> row, row_id_t rid);
   /// Drops the table's cached sideways crackers (schema changes only).
   void DropSideways(std::string_view table);
+  /// Pressure reaction: drops every cached sideways cracker except `keep`
+  /// (maps are pure acceleration state and rebuild on demand).
+  void ShedSidewaysExcept(const std::string& keep);
+  /// Refreshes the governor's gauges from the live structures.
+  void SyncResourceGauges();
+  /// Scan-plus-crack-later projection: answers σ_pred(head) ⋉ tails by
+  /// scanning the base columns, materializing no sideways map.
+  Result<ProjectionResult<std::int64_t>> ScanProject(
+      std::string_view table, std::string_view head,
+      const RangePredicate<std::int64_t>& pred,
+      const std::vector<std::string>& tails) const;
 
   Catalog catalog_;
   std::unordered_map<internal::PathKey, std::unique_ptr<AccessPath<std::int64_t>>,
@@ -233,7 +277,9 @@ class Database {
       paths_;
   std::unordered_map<std::string, std::unique_ptr<SidewaysCracker<std::int64_t>>>
       sideways_;
-  DmlFaultHook dml_fault_hook_;
+  // unique_ptr: the governor holds a mutex (not movable) and the Database
+  // keeps its defaulted moves.
+  std::unique_ptr<ResourceGovernor> governor_ = std::make_unique<ResourceGovernor>();
 };
 
 }  // namespace aidx

@@ -72,6 +72,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -87,9 +88,13 @@
 #include "storage/predicate.h"
 #include "storage/types.h"
 #include "update/updatable_column.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/macros.h"
+#include "util/query_context.h"
+#include "util/result.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace aidx {
@@ -170,6 +175,18 @@ struct StripedReadPathStats {
   std::size_t fast_reads = 0;
   std::size_t overlay_reads = 0;
   std::size_t coarse_reads = 0;
+};
+
+/// Fault-handling counters of the background-merge mode machine: how many
+/// merge submissions failed (pool refusal or injected fault), how many
+/// merge steps failed, how many of those were retried with backoff, and
+/// how many shards gave up and degraded to foreground merging. Probed by
+/// the chaos harness (tests/fault_schedule_test.cc) and docs/ROBUSTNESS.md.
+struct BackgroundMergeStats {
+  std::size_t submit_failures = 0;
+  std::size_t step_failures = 0;
+  std::size_t step_retries = 0;
+  std::size_t degrades = 0;
 };
 
 /// Tuning knobs for a partitioned cracker column.
@@ -448,6 +465,57 @@ class PartitionedCrackerColumn {
     return total;
   }
 
+  /// Deadline/cancellation-aware Count: the context gates each shard of
+  /// the fan-out, so an expiring query stops investing after the shard it
+  /// is in. Cracks already realized in visited shards are kept — they are
+  /// ordinary incremental indexing investment, and the column stays
+  /// ValidatePieces-clean. Thread-safe.
+  Result<std::size_t> Count(const RangePredicate<T>& pred,
+                            const QueryContext& ctx) {
+    AIDX_RETURN_NOT_OK(ctx.Check());
+    if (pred.DefinitelyEmpty()) return std::size_t{0};
+    const auto [first, last] = OverlapRange(pred);
+    if (first == last) return CountShard(*shards_[first], pred);
+    std::atomic<bool> expired{false};
+    std::vector<std::size_t> partial(last - first + 1, 0);
+    ForEachOverlapping(first, last, [&](std::size_t p, std::size_t slot) {
+      if (expired.load(std::memory_order_relaxed)) return;
+      if (!ctx.Check().ok()) {
+        expired.store(true, std::memory_order_relaxed);
+        return;
+      }
+      partial[slot] = CountShard(*shards_[p], pred);
+    });
+    AIDX_RETURN_NOT_OK(ctx.Check());
+    std::size_t total = 0;
+    for (const std::size_t c : partial) total += c;
+    return total;
+  }
+
+  /// Deadline/cancellation-aware Sum; same per-shard gating as the Count
+  /// overload. Thread-safe.
+  Result<long double> Sum(const RangePredicate<T>& pred,
+                          const QueryContext& ctx) {
+    AIDX_RETURN_NOT_OK(ctx.Check());
+    if (pred.DefinitelyEmpty()) return static_cast<long double>(0);
+    const auto [first, last] = OverlapRange(pred);
+    if (first == last) return SumShard(*shards_[first], pred);
+    std::atomic<bool> expired{false};
+    std::vector<long double> partial(last - first + 1, 0);
+    ForEachOverlapping(first, last, [&](std::size_t p, std::size_t slot) {
+      if (expired.load(std::memory_order_relaxed)) return;
+      if (!ctx.Check().ok()) {
+        expired.store(true, std::memory_order_relaxed);
+        return;
+      }
+      partial[slot] = SumShard(*shards_[p], pred);
+    });
+    AIDX_RETURN_NOT_OK(ctx.Check());
+    long double total = 0;
+    for (const long double s : partial) total += s;
+    return total;
+  }
+
   /// Appends matching values to `out`, grouped by ascending partition
   /// (order within the result is unspecified, as for CrackerColumn whose
   /// storage order is crack-dependent). Thread-safe: each partition's
@@ -585,6 +653,11 @@ class PartitionedCrackerColumn {
     if (options_.latch_mode != LatchMode::kStripedPiece) return false;
     if (shutting_down_.load(std::memory_order_acquire)) return false;
     Shard& shard = *shards_[p];
+    if (shard.degraded.load(std::memory_order_acquire)) return false;
+    if (AIDX_PREDICT_FALSE(
+            !failpoints::parallel_bg_submit.Inject().ok())) {
+      return NoteSubmitFailure(shard);
+    }
     int expected = static_cast<int>(ShardMergeMode::kNormal);
     if (!shard.mode.compare_exchange_strong(
             expected, static_cast<int>(ShardMergeMode::kPrepareToMerge),
@@ -592,17 +665,25 @@ class PartitionedCrackerColumn {
       return false;  // a merge is already in flight for this shard
     }
     background_tasks_.fetch_add(1, std::memory_order_acq_rel);
-    // The ticket's destructor releases the task slot, so a closure the pool
-    // drops unstarted at shutdown still unblocks WaitForBackgroundMerges.
+    // The ticket's destructor releases the task slot AND repairs the mode
+    // machine: a closure the pool drops unstarted at shutdown never runs
+    // RunBackgroundMerge, so without the CAS the shard would wedge in
+    // PrepareToMerge forever. A ticket destroyed after a completed run
+    // finds the mode past PrepareToMerge and the CAS is a no-op.
     auto ticket = std::shared_ptr<void>(
-        static_cast<void*>(nullptr), [this](void*) {
+        static_cast<void*>(nullptr), [this, p](void*) {
+          int prepared = static_cast<int>(ShardMergeMode::kPrepareToMerge);
+          shards_[p]->mode.compare_exchange_strong(
+              prepared, static_cast<int>(ShardMergeMode::kNormal),
+              std::memory_order_acq_rel);
           background_tasks_.fetch_sub(1, std::memory_order_acq_rel);
         });
     if (!pool_->TrySubmit([this, p, ticket] { RunBackgroundMerge(p); })) {
       shard.mode.store(static_cast<int>(ShardMergeMode::kNormal),
                        std::memory_order_release);
-      return false;
+      return NoteSubmitFailure(shard);
     }
+    shard.consecutive_submit_failures.store(0, std::memory_order_relaxed);
     return true;
   }
 
@@ -627,6 +708,10 @@ class PartitionedCrackerColumn {
         DrainStripedPending(*shard);
         shard->column.MergePendingFor(RangePredicate<T>::All());
       });
+      // A full foreground drain is a clean slate: give previously degraded
+      // shards another shot at background merging.
+      shard->degraded.store(false, std::memory_order_release);
+      shard->consecutive_submit_failures.store(0, std::memory_order_relaxed);
     }
   }
 
@@ -636,6 +721,28 @@ class PartitionedCrackerColumn {
     AIDX_CHECK(p < shards_.size());
     return static_cast<ShardMergeMode>(
         shards_[p]->mode.load(std::memory_order_acquire));
+  }
+
+  /// True when partition p has given up on background merging (after
+  /// exhausting merge-step retries or repeated submission failures) and
+  /// parks its buffered writes for foreground absorption: the next
+  /// threshold-crossing writer, coarse-path query, or FlushPending merges
+  /// them inline. No write is ever dropped. FlushPending resets the flag.
+  /// Thread-safe.
+  bool shard_degraded(std::size_t p) const {
+    AIDX_CHECK(p < shards_.size());
+    return shards_[p]->degraded.load(std::memory_order_acquire);
+  }
+
+  /// Fault counters of the mode machine (submission failures, merge-step
+  /// failures, backoff retries, foreground degrades). Thread-safe.
+  BackgroundMergeStats background_merge_stats() const {
+    BackgroundMergeStats s;
+    s.submit_failures = bg_submit_failures_.load(std::memory_order_relaxed);
+    s.step_failures = bg_step_failures_.load(std::memory_order_relaxed);
+    s.step_retries = bg_step_retries_.load(std::memory_order_relaxed);
+    s.degrades = bg_degrades_.load(std::memory_order_relaxed);
+    return s;
   }
 
   /// Updates not yet folded into any cracked array: striped write-bucket
@@ -741,6 +848,14 @@ class PartitionedCrackerColumn {
   /// sustained writer pressure hands the remainder to the next trigger
   /// instead of pinning a pool worker forever.
   static constexpr std::size_t kMaxBackgroundRounds = 1 << 16;
+  /// Consecutive merge-step (or submission) failures tolerated before a
+  /// shard degrades to foreground merging (docs/ROBUSTNESS.md ladder).
+  static constexpr int kBackgroundMergeMaxRetries = 3;
+  /// Capped exponential backoff between merge-step retries. Short on
+  /// purpose: a failing merge holds nothing, and readers keep answering
+  /// from the overlay path while it sleeps.
+  static constexpr std::uint64_t kBackgroundRetryBaseMicros = 200;
+  static constexpr std::uint64_t kBackgroundRetryCapMicros = 2000;
 
   /// A buffered striped-path write (rid is kPendingNoRid for deletes).
   struct StripedPendingTuple {
@@ -844,6 +959,11 @@ class PartitionedCrackerColumn {
 
     // -- Background-merge mode machine (docs/UPDATES.md) ---------------------
     std::atomic<int> mode{static_cast<int>(ShardMergeMode::kNormal)};
+    // Set when background merging gave up on this shard (retries exhausted
+    // or repeated submission failures): buffered writes then merge in the
+    // foreground instead. Reset by FlushPending.
+    std::atomic<bool> degraded{false};
+    std::atomic<int> consecutive_submit_failures{0};
     // Shared-path readers bump their slot while inside `structural` shared;
     // the merger's grace waits observe every slot at zero once before and
     // after the Merging window (advisory pacing — correctness comes from
@@ -1724,15 +1844,49 @@ class PartitionedCrackerColumn {
 
   void MaybeTriggerBackgroundMerge(Shard& shard) {
     if (options_.background_merge_threshold == 0 || pool_ == nullptr) return;
-    if (shard.mode.load(std::memory_order_relaxed) !=
-        static_cast<int>(ShardMergeMode::kNormal)) {
-      return;
-    }
     if (shard.buffered_writes.load(std::memory_order_relaxed) <
         options_.background_merge_threshold) {
       return;
     }
+    if (shard.degraded.load(std::memory_order_acquire)) {
+      // Degraded ladder rung: the writer that crossed the threshold pays
+      // for the merge inline. Slower than background absorption, but no
+      // buffered write is ever dropped and the buffer stays bounded.
+      ForegroundMerge(shard);
+      return;
+    }
+    if (shard.mode.load(std::memory_order_relaxed) !=
+        static_cast<int>(ShardMergeMode::kNormal)) {
+      return;
+    }
     RequestBackgroundMerge(shard.index);
+  }
+
+  /// Foreground fallback for degraded shards: drain the write buckets and
+  /// fold every pending update under whole-partition exclusion — the same
+  /// path the coarse read takes, so correctness is shared with it.
+  void ForegroundMerge(Shard& shard) {
+    const std::unique_lock<std::shared_mutex> structural(shard.structural);
+    MaybeGrowStripes(shard);
+    DrainStripedPending(shard);
+    shard.column.MergePendingFor(RangePredicate<T>::All());
+  }
+
+  /// Accounting for a failed background-merge submission (injected fault
+  /// or pool refusal). Enough consecutive failures park the shard in
+  /// foreground mode so callers stop hammering a broken pool. Always
+  /// returns false (the request did not run).
+  bool NoteSubmitFailure(Shard& shard) {
+    bg_submit_failures_.fetch_add(1, std::memory_order_relaxed);
+    const int failures = shard.consecutive_submit_failures.fetch_add(
+                             1, std::memory_order_acq_rel) +
+                         1;
+    if (failures > kBackgroundMergeMaxRetries) {
+      if (!shard.degraded.exchange(true, std::memory_order_acq_rel)) {
+        bg_degrades_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return false;
   }
 
   /// Bounded grace wait: observe every free-status slot at zero once, so
@@ -1762,8 +1916,31 @@ class PartitionedCrackerColumn {
     }
     shard.mode.store(static_cast<int>(ShardMergeMode::kMerging),
                      std::memory_order_release);
+    // Merge-step faults (failpoints::parallel_bg_merge_step, or any future
+    // real failure source routed through it) retry with capped exponential
+    // backoff; a run that exhausts its retries parks the shard in
+    // foreground mode. Either way every buffered write stays queued — a
+    // failed step mutates nothing — and readers keep answering from the
+    // overlay path throughout.
+    int failures = 0;
+    std::uint64_t backoff_us = kBackgroundRetryBaseMicros;
+    bool give_up = false;
     for (std::size_t round = 0; round < kMaxBackgroundRounds; ++round) {
       if (shutting_down_.load(std::memory_order_acquire)) break;
+      const Status step = failpoints::parallel_bg_merge_step.Inject();
+      if (AIDX_PREDICT_FALSE(!step.ok())) {
+        bg_step_failures_.fetch_add(1, std::memory_order_relaxed);
+        if (++failures > kBackgroundMergeMaxRetries) {
+          give_up = true;
+          break;
+        }
+        bg_step_retries_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        backoff_us = std::min(backoff_us * 2, kBackgroundRetryCapMicros);
+        continue;
+      }
+      failures = 0;
+      backoff_us = kBackgroundRetryBaseMicros;
       bool done;
       {
         const std::unique_lock<std::shared_mutex> structural(shard.structural);
@@ -1775,6 +1952,11 @@ class PartitionedCrackerColumn {
       }
       if (done) break;
       std::this_thread::yield();
+    }
+    if (give_up) {
+      if (!shard.degraded.exchange(true, std::memory_order_acq_rel)) {
+        bg_degrades_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     shard.mode.store(static_cast<int>(ShardMergeMode::kMerged),
                      std::memory_order_release);
@@ -1881,6 +2063,11 @@ class PartitionedCrackerColumn {
   /// even when the pool drops the closure unstarted at shutdown).
   mutable std::atomic<int> background_tasks_{0};
   std::atomic<bool> shutting_down_{false};
+  // Mode-machine fault counters (see background_merge_stats()).
+  std::atomic<std::size_t> bg_submit_failures_{0};
+  std::atomic<std::size_t> bg_step_failures_{0};
+  std::atomic<std::size_t> bg_step_retries_{0};
+  std::atomic<std::size_t> bg_degrades_{0};
 };
 
 }  // namespace aidx

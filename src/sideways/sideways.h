@@ -41,6 +41,7 @@
 #include "storage/predicate.h"
 #include "storage/table.h"
 #include "storage/types.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/macros.h"
 #include "util/result.h"
@@ -140,6 +141,7 @@ class SidewaysCracker {
   /// table. O(1) here; each live map folds the insert in (ripple move) the
   /// next time it is touched.
   void ApplyInsert(row_id_t rid, T head_value, std::vector<T> tails) {
+    (void)failpoints::sideways_ripple.Inject();  // delay-only: apply phase
     AIDX_CHECK(table_ != nullptr) << "DML on a span-mode sideways cracker";
     AIDX_CHECK(tails.size() == tail_order_.size())
         << "insert carries " << tails.size() << " tails, " << tail_order_.size()
@@ -157,6 +159,7 @@ class SidewaysCracker {
   /// Logs a row delete (table-backed mode): the base row (rid, head_value)
   /// is about to be erased from the table.
   void ApplyDelete(row_id_t rid, T head_value) {
+    (void)failpoints::sideways_ripple.Inject();  // delay-only: apply phase
     AIDX_CHECK(table_ != nullptr) << "DML on a span-mode sideways cracker";
     LogOp op;
     op.kind = LogOp::Kind::kDelete;
@@ -171,6 +174,9 @@ class SidewaysCracker {
   /// vectors. Cracks (and aligns) every involved map as a side effect.
   Result<ProjectionResult<T>> SelectProject(const RangePredicate<T>& pred,
                                             const std::vector<std::string>& tail_names) {
+    // Fires before the query logs or touches any map, so an injected error
+    // leaves the cracker exactly as it was.
+    AIDX_RETURN_NOT_OK(failpoints::sideways_select.Inject());
     ++stats_.num_queries;
     if (tail_names.empty()) {
       return Status::InvalidArgument("select-project needs at least one tail column");

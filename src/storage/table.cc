@@ -1,10 +1,14 @@
 #include "storage/table.h"
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace aidx {
 
 Status Table::AddColumn(std::unique_ptr<Column> column) {
+  // Entry gate, before any validation state is read: an injected failure
+  // leaves the table untouched (schema changes are validate-then-mutate).
+  AIDX_RETURN_NOT_OK(failpoints::storage_add_column.Inject());
   if (column == nullptr) {
     return Status::InvalidArgument("cannot add null column to table '" + name_ + "'");
   }
@@ -53,6 +57,10 @@ row_id_t Table::AllocateRowId() {
 }
 
 void Table::CommitAppendedRow(row_id_t rid) {
+  // Delay-only point: commit sits inside the cannot-fail apply phase of
+  // row-atomic DML, so errors have nowhere to surface — but a delay here
+  // widens races for the concurrency harnesses.
+  (void)failpoints::storage_commit_row.Inject();
   AIDX_DCHECK(row_ids_initialized_);
   AIDX_DCHECK(row_ids_.size() + 1 == num_rows())
       << "CommitAppendedRow before every column appended the row";

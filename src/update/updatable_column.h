@@ -208,6 +208,22 @@ class UpdatableCrackerColumn : public CrackerColumn<T> {
     return CrackerColumn<T>::Sum(pred);
   }
 
+  /// Deadline/cancellation-aware variants. The context gates the entry and
+  /// the piece-level crack loop; the pending-update merge itself always
+  /// rolls forward once started — a merge is row-atomic investment, so an
+  /// expiring query parks AFTER it, never inside it.
+  Result<std::size_t> Count(const RangePredicate<T>& pred, const QueryContext& ctx) {
+    AIDX_RETURN_NOT_OK(ctx.Check());
+    MergeForQuery(pred);
+    return CrackerColumn<T>::Count(pred, ctx);
+  }
+
+  Result<long double> Sum(const RangePredicate<T>& pred, const QueryContext& ctx) {
+    AIDX_RETURN_NOT_OK(ctx.Check());
+    MergeForQuery(pred);
+    return CrackerColumn<T>::Sum(pred, ctx);
+  }
+
   /// Folds the pending updates the predicate's range requires (policy-
   /// dependent) without answering a query. Callers that take raw cracked
   /// positions (Select / Materialize pipelines) use this first so the

@@ -1,0 +1,295 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace aidx {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+bool ParseStatusCode(std::string_view name, StatusCode* out) {
+  struct Entry {
+    std::string_view name;
+    StatusCode code;
+  };
+  static constexpr Entry kCodes[] = {
+      {"invalid_argument", StatusCode::kInvalidArgument},
+      {"not_found", StatusCode::kNotFound},
+      {"already_exists", StatusCode::kAlreadyExists},
+      {"out_of_range", StatusCode::kOutOfRange},
+      {"resource_exhausted", StatusCode::kResourceExhausted},
+      {"not_implemented", StatusCode::kNotImplemented},
+      {"internal", StatusCode::kInternal},
+      {"deadline_exceeded", StatusCode::kDeadlineExceeded},
+      {"cancelled", StatusCode::kCancelled},
+  };
+  for (const Entry& e : kCodes) {
+    if (e.name == name) {
+      *out = e.code;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parses one mode spec — `error`, `error(<code>)`, `delay(<micros>)`,
+/// `prob(<p>)`, `prob(<p>,<code>)`, `off` — with an optional `*N` max-hits
+/// suffix — into a policy.
+Status ParseModeSpec(std::string_view spec, FailpointPolicy* out) {
+  *out = FailpointPolicy{};
+  spec = Trim(spec);
+  if (const auto star = spec.rfind('*'); star != std::string_view::npos &&
+                                         spec.find(')', star) == std::string_view::npos) {
+    const std::string hits(Trim(spec.substr(star + 1)));
+    char* end = nullptr;
+    out->max_hits = std::strtoull(hits.c_str(), &end, 10);
+    if (end == hits.c_str() || *end != '\0' || out->max_hits == 0) {
+      return Status::InvalidArgument("failpoint spec: bad max-hits suffix in '" +
+                                     std::string(spec) + "'");
+    }
+    spec = Trim(spec.substr(0, star));
+  }
+  std::string_view mode = spec;
+  std::string_view args;
+  if (const auto open = spec.find('('); open != std::string_view::npos) {
+    if (spec.back() != ')') {
+      return Status::InvalidArgument("failpoint spec: unbalanced parens in '" +
+                                     std::string(spec) + "'");
+    }
+    mode = Trim(spec.substr(0, open));
+    args = Trim(spec.substr(open + 1, spec.size() - open - 2));
+  }
+  if (mode == "off") {
+    out->mode = FailpointMode::kOff;
+    return Status::OK();
+  }
+  if (mode == "error") {
+    out->mode = FailpointMode::kError;
+    if (!args.empty() && !ParseStatusCode(args, &out->code)) {
+      return Status::InvalidArgument("failpoint spec: unknown status code '" +
+                                     std::string(args) + "'");
+    }
+    return Status::OK();
+  }
+  if (mode == "delay") {
+    out->mode = FailpointMode::kDelay;
+    const std::string micros(args);
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(micros.c_str(), &end, 10);
+    if (args.empty() || end == micros.c_str() || *end != '\0') {
+      return Status::InvalidArgument("failpoint spec: delay needs micros, got '" +
+                                     std::string(args) + "'");
+    }
+    out->delay_micros = static_cast<std::uint32_t>(v);
+    return Status::OK();
+  }
+  if (mode == "prob") {
+    out->mode = FailpointMode::kProbabilistic;
+    std::string_view p = args;
+    if (const auto comma = args.find(','); comma != std::string_view::npos) {
+      p = Trim(args.substr(0, comma));
+      const std::string_view code = Trim(args.substr(comma + 1));
+      if (!ParseStatusCode(code, &out->code)) {
+        return Status::InvalidArgument("failpoint spec: unknown status code '" +
+                                       std::string(code) + "'");
+      }
+    }
+    const std::string prob(p);
+    char* end = nullptr;
+    out->probability = std::strtod(prob.c_str(), &end);
+    if (p.empty() || end == prob.c_str() || *end != '\0' || out->probability < 0.0 ||
+        out->probability > 1.0) {
+      return Status::InvalidArgument("failpoint spec: prob needs p in [0,1], got '" +
+                                     std::string(args) + "'");
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("failpoint spec: unknown mode '" + std::string(mode) +
+                                 "'");
+}
+
+}  // namespace
+
+Failpoint::Failpoint(const char* name) : name_(name) {
+  FailpointRegistry::Instance().Register(this);
+}
+
+void Failpoint::Arm(FailpointPolicy policy) {
+  const std::lock_guard<std::mutex> guard(mu_);
+  policy_ = std::move(policy);
+  fired_ = 0;
+  rng_state_ = policy_.seed;
+  const bool on = policy_.mode != FailpointMode::kOff;
+  armed_.store(on ? 1 : 0, std::memory_order_release);
+}
+
+void Failpoint::Disarm() {
+  const std::lock_guard<std::mutex> guard(mu_);
+  policy_ = FailpointPolicy{};
+  fired_ = 0;
+  armed_.store(0, std::memory_order_release);
+}
+
+void Failpoint::ResetCounters() {
+  hits_.store(0, std::memory_order_relaxed);
+  evaluations_.store(0, std::memory_order_relaxed);
+}
+
+Status Failpoint::Fire(std::string_view scope) {
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  FailpointMode mode;
+  StatusCode code;
+  std::string message;
+  std::uint32_t delay_micros;
+  std::function<Status(std::string_view)> handler;
+  {
+    const std::lock_guard<std::mutex> guard(mu_);
+    if (policy_.mode == FailpointMode::kOff) return Status::OK();  // raced a Disarm
+    mode = policy_.mode;
+    code = policy_.code;
+    message = policy_.message;
+    delay_micros = policy_.delay_micros;
+    handler = policy_.handler;
+    if (mode == FailpointMode::kProbabilistic) {
+      const double draw =
+          static_cast<double>(SplitMix64(&rng_state_) >> 11) * 0x1.0p-53;
+      if (draw >= policy_.probability) return Status::OK();
+    }
+    ++fired_;
+    if (policy_.max_hits != 0 && fired_ >= policy_.max_hits) {
+      // Auto-disarm after this fire; subsequent Injects are clean.
+      policy_ = FailpointPolicy{};
+      fired_ = 0;
+      armed_.store(0, std::memory_order_release);
+    }
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (message.empty()) {
+    message = std::string("injected by failpoint '") + name_ + "'";
+  }
+  switch (mode) {
+    case FailpointMode::kDelay:
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
+      return Status::OK();
+    case FailpointMode::kError:
+    case FailpointMode::kProbabilistic:
+      return Status(code, std::move(message));
+    case FailpointMode::kCallback:
+      return handler ? handler(scope) : Status::OK();
+    case FailpointMode::kOff:
+      break;
+  }
+  return Status::OK();
+}
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry registry;
+  return registry;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  if (const char* env = std::getenv("AIDX_FAILPOINTS"); env != nullptr) {
+    // Registration hasn't happened yet (points register after the registry
+    // exists), so this just validates the spec and queues every entry. A
+    // malformed spec must not pass silently: a typo would turn a chaos run
+    // into a quiet run.
+    const Status status = Configure(env);
+    if (!status.ok()) {
+      AIDX_LOG(Warning) << "ignoring malformed AIDX_FAILPOINTS entry: "
+                        << status.ToString();
+    }
+  }
+}
+
+void FailpointRegistry::Register(Failpoint* point) {
+  std::pair<std::string, std::string> match;
+  {
+    const std::lock_guard<std::mutex> guard(mu_);
+    points_.push_back(point);
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->first == point->name()) {
+        match = std::move(*it);
+        pending_.erase(it);
+        break;
+      }
+    }
+  }
+  if (!match.first.empty()) {
+    FailpointPolicy policy;
+    if (ParseModeSpec(match.second, &policy).ok()) point->Arm(std::move(policy));
+  }
+}
+
+Failpoint* FailpointRegistry::Find(std::string_view name) {
+  const std::lock_guard<std::mutex> guard(mu_);
+  for (Failpoint* point : points_) {
+    if (name == point->name()) return point;
+  }
+  return nullptr;
+}
+
+std::vector<Failpoint*> FailpointRegistry::List() {
+  const std::lock_guard<std::mutex> guard(mu_);
+  return points_;
+}
+
+Status FailpointRegistry::Configure(std::string_view spec) {
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    // Entry separator: ';' or ',', but commas inside parens belong to the
+    // mode's argument list — prob(0.5,not_found) is one entry.
+    std::size_t end = spec.size();
+    int depth = 0;
+    for (std::size_t i = begin; i < spec.size(); ++i) {
+      const char c = spec[i];
+      if (c == '(') ++depth;
+      if (c == ')' && depth > 0) --depth;
+      if (c == ';' || (c == ',' && depth == 0)) {
+        end = i;
+        break;
+      }
+    }
+    const std::string_view entry = Trim(spec.substr(begin, end - begin));
+    begin = end + 1;
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("failpoint spec: entry '" + std::string(entry) +
+                                     "' is not name=mode");
+    }
+    const std::string_view name = Trim(entry.substr(0, eq));
+    const std::string_view mode = Trim(entry.substr(eq + 1));
+    FailpointPolicy policy;
+    AIDX_RETURN_NOT_OK(ParseModeSpec(mode, &policy));
+    if (Failpoint* point = Find(std::string(name))) {
+      point->Arm(std::move(policy));
+    } else {
+      const std::lock_guard<std::mutex> guard(mu_);
+      pending_.emplace_back(std::string(name), std::string(mode));
+    }
+  }
+  return Status::OK();
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::vector<Failpoint*> points;
+  {
+    const std::lock_guard<std::mutex> guard(mu_);
+    points = points_;
+    pending_.clear();
+  }
+  for (Failpoint* point : points) point->Disarm();
+}
+
+}  // namespace aidx

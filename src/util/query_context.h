@@ -1,0 +1,87 @@
+// QueryContext: per-query deadline and cancellation, threaded from the
+// Database facade down into the piece-level crack loops.
+//
+// Contract (docs/ROBUSTNESS.md): contexts are checked at piece granularity
+// — once before each piece-level crack, never mid-crack — so an expired or
+// cancelled query unwinds with Status::DeadlineExceeded / Cancelled while
+// the index stays ValidatePieces-clean. Partial cracks performed before
+// the expiry are KEPT: per the adaptive-indexing papers they are
+// legitimate incremental investment that future queries profit from, not
+// torn state to roll back. A background context (the default) makes every
+// check a no-op branch, so ctx-free callers pay nothing.
+//
+// Cost: cancellation is one relaxed atomic load per piece; a deadline adds
+// a steady_clock read, which is noise next to the crack it gates.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "util/status.h"
+
+namespace aidx {
+
+/// Shared cancellation flag; hand the same token to the query and to
+/// whatever decides to cancel it (another thread, a timeout reaper, ...).
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+class QueryContext {
+ public:
+  /// No deadline, no token: Check() always passes.
+  QueryContext() = default;
+
+  static QueryContext Background() { return QueryContext(); }
+
+  static QueryContext WithDeadline(std::chrono::steady_clock::time_point deadline) {
+    QueryContext ctx;
+    ctx.deadline_ = deadline;
+    ctx.has_deadline_ = true;
+    return ctx;
+  }
+
+  static QueryContext WithTimeout(std::chrono::nanoseconds budget) {
+    return WithDeadline(std::chrono::steady_clock::now() + budget);
+  }
+
+  /// Attaches a cancellation token; composes with a deadline.
+  QueryContext& SetToken(std::shared_ptr<CancellationToken> token) {
+    token_ = std::move(token);
+    return *this;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+  const std::shared_ptr<CancellationToken>& token() const { return token_; }
+
+  /// True when any check could ever fail; callers on hot paths skip the
+  /// whole gate for background contexts.
+  bool active() const { return has_deadline_ || token_ != nullptr; }
+
+  /// OK, or Cancelled / DeadlineExceeded. Cancellation wins ties: an
+  /// explicit cancel is a stronger signal than the clock.
+  Status Check() const {
+    if (token_ != nullptr && token_->cancelled()) {
+      return Status::Cancelled("query cancelled");
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::shared_ptr<CancellationToken> token_;
+};
+
+}  // namespace aidx

@@ -25,6 +25,8 @@ enum class StatusCode : char {
   kResourceExhausted = 5,
   kNotImplemented = 6,
   kInternal = 7,
+  kDeadlineExceeded = 8,
+  kCancelled = 9,
 };
 
 /// Returns a stable human-readable name for a status code ("Invalid argument", ...).
@@ -70,6 +72,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -85,6 +93,8 @@ class Status {
   bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

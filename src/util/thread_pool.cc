@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace aidx {
@@ -15,13 +16,23 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     const std::lock_guard<std::mutex> guard(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // Destroy dropped tasks outside the lock: a closure's destructor may run
+  // arbitrary cleanup (merge-ticket release) that probes this pool again.
+  std::deque<std::function<void()>> dropped;
+  {
+    const std::lock_guard<std::mutex> guard(mu_);
+    dropped.swap(queue_);
+  }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -36,6 +47,9 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
   AIDX_CHECK(task != nullptr);
+  // Injected submission failure behaves exactly like a stopping pool: the
+  // closure is destroyed here (releasing its tickets) and we report false.
+  if (AIDX_PREDICT_FALSE(!failpoints::threadpool_submit.Inject().ok())) return false;
   {
     const std::lock_guard<std::mutex> guard(mu_);
     if (stopping_) return false;
@@ -103,7 +117,9 @@ void ThreadPool::ParallelFor(std::size_t n,
   // At most n-1 helpers: the caller claims at least one iteration itself.
   const std::size_t helpers = std::min(workers_.size(), n - 1);
   for (std::size_t h = 0; h < helpers; ++h) {
-    Submit([state] { DrainIterations(state); });
+    // TrySubmit, not Submit: racing a Shutdown just means fewer helpers;
+    // the caller's own DrainIterations still completes every iteration.
+    if (!TrySubmit([state] { DrainIterations(state); })) break;
   }
   DrainIterations(state);
   std::unique_lock<std::mutex> lock(state->mu);

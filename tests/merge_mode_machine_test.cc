@@ -350,5 +350,57 @@ TEST(MergeModeMachineTest, OverlappingQueriesUseOverlayWhenPoolAvailable) {
   EXPECT_TRUE(col.ValidatePieces());
 }
 
+// Regression: a merge closure that is queued but never started when the
+// pool shuts down must be DESTROYED, and destroying it must release the
+// merge ticket — the ticket's deleter repairs PrepareToMerge back to
+// Normal. Before the repair, the shard wedged off Normal forever and
+// every later merge request was rejected.
+TEST(MergeModeMachineTest, DroppedClosureAtShutdownRepairsModeMachine) {
+  const auto base = RandomValues(2000, 500, 47);
+  ThreadPool pool(1);
+  Column col(base, MachineOptions(/*threshold=*/0), &pool);
+  // Park the only worker so the granted merge closure stays queued.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  ASSERT_TRUE(col.RequestBackgroundMerge(0));
+  ASSERT_EQ(col.shard_mode(0), ShardMergeMode::kPrepareToMerge);
+
+  // Shutdown blocks joining the parked worker; once intake has stopped
+  // (TrySubmit refuses), release the worker so the join — and the
+  // destruction of the still-queued merge closure — can complete.
+  std::thread stopper([&] { pool.Shutdown(); });
+  while (pool.TrySubmit([] {})) {
+    std::this_thread::yield();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  stopper.join();
+
+  // The dropped closure's ticket repaired the machine: back to Normal,
+  // no in-flight merge accounted, and the shard degrades (foreground
+  // merges) instead of wedging.
+  EXPECT_EQ(col.shard_mode(0), ShardMergeMode::kNormal);
+  col.WaitForBackgroundMerges();  // must not hang on a leaked ticket
+  Rng rng(48);
+  std::vector<std::int64_t> model = base;
+  for (int i = 0; i < 40; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.NextBounded(500));
+    col.Insert(v);
+    model.push_back(v);
+  }
+  col.FlushPending();
+  EXPECT_EQ(col.pending_update_count(), 0u);
+  EXPECT_EQ(col.Count(Pred::All()), model.size());
+  EXPECT_TRUE(col.ValidatePieces());
+}
+
 }  // namespace
 }  // namespace aidx
