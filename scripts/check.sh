@@ -18,8 +18,8 @@
 # exactly where memory bugs hide. Also a CI job.
 #
 # scripts/check.sh --bench-smoke builds bench_e12_crack_kernels,
-# bench_e11_parallel_scaling, and bench_e4_updates and runs them at
-# reduced scale with --json,
+# bench_e11_parallel_scaling, bench_e4_updates, and bench_e13_sharded
+# and runs them at reduced scale with --json,
 # then gates the emitted BENCH_*.json (build/bench-artifacts/) through
 # scripts/compare_bench.py — schema plus per-bench headline metrics (a
 # trend gate, not a noise gate). CI runs this on every push and uploads
@@ -29,8 +29,9 @@
 # scripts/check.sh --faults [schedule] runs the fault-injection chaos
 # harness under ThreadSanitizer: same build-tsan/ tree as --tsan, but the
 # concurrency-labeled suites run with AIDX_FAULT_SCHEDULE set to the named
-# schedule (quiet | delays | errors | mixed; default mixed — see
-# docs/ROBUSTNESS.md) and a fresh random AIDX_FAULT_SEED unless one is
+# schedule (quiet | delays | errors | mixed | dist; default mixed — see
+# docs/ROBUSTNESS.md, and docs/DISTRIBUTION.md for dist) and a fresh random
+# AIDX_FAULT_SEED unless one is
 # already exported. The seed is echoed up front and by the harness itself,
 # so any failure reproduces with the printed one-liner.
 set -euo pipefail
@@ -59,10 +60,10 @@ if [[ "${1:-}" == "--faults" ]]; then
     shift
   fi
   case "$schedule" in
-    quiet|delays|errors|mixed) ;;
+    quiet|delays|errors|mixed|dist) ;;
     *)
       echo "check.sh --faults: unknown schedule '$schedule'" \
-        "(expected quiet|delays|errors|mixed)" >&2
+        "(expected quiet|delays|errors|mixed|dist)" >&2
       exit 2
       ;;
   esac
@@ -99,7 +100,8 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   shift
   cmake -B build -S . "$@"
   cmake --build build -j "$(nproc)" \
-    --target bench_e12_crack_kernels bench_e11_parallel_scaling bench_e4_updates
+    --target bench_e12_crack_kernels bench_e11_parallel_scaling bench_e4_updates \
+             bench_e13_sharded
   mkdir -p build/bench-artifacts
   AIDX_N="${AIDX_N:-200000}" AIDX_Q="${AIDX_Q:-128}" AIDX_CSV_DIR="" \
     AIDX_JSON_DIR=build/bench-artifacts \
@@ -110,14 +112,19 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   AIDX_N="${AIDX_N:-200000}" AIDX_Q="${AIDX_Q:-256}" AIDX_CSV_DIR="" \
     AIDX_JSON_DIR=build/bench-artifacts \
     ./build/bench_e4_updates --json
+  AIDX_N="${AIDX_N:-200000}" AIDX_Q="${AIDX_Q:-256}" AIDX_CSV_DIR="" \
+    AIDX_JSON_DIR=build/bench-artifacts \
+    ./build/bench_e13_sharded --json
   test -s build/bench-artifacts/BENCH_e12_crack_kernels.json
   test -s build/bench-artifacts/BENCH_e11_parallel_scaling.json
   test -s build/bench-artifacts/BENCH_e4_updates.json
+  test -s build/bench-artifacts/BENCH_e13_sharded.json
   if command -v python3 >/dev/null 2>&1; then
     python3 scripts/compare_bench.py \
       build/bench-artifacts/BENCH_e12_crack_kernels.json \
       build/bench-artifacts/BENCH_e11_parallel_scaling.json \
-      build/bench-artifacts/BENCH_e4_updates.json
+      build/bench-artifacts/BENCH_e4_updates.json \
+      build/bench-artifacts/BENCH_e13_sharded.json
   else
     echo "bench-smoke: python3 unavailable; skipped compare_bench.py gate" >&2
   fi

@@ -85,6 +85,19 @@ HEADLINE_REQUIREMENTS = {
         ("multicol_write_mix", "ops_per_s", "positive"),
         ("headline", "multicol_min_ratio", "positive"),
     ],
+    "e13_sharded": [
+        # The shard-count axis must be on record for both routing kinds,
+        # plus the rebalance cost row (rows moved per second and the
+        # carried-cut count proving index investment survived the move)
+        # and the range-routed scaling headline (docs/DISTRIBUTION.md).
+        # Positivity only: scatter scaling needs physical cores, and the
+        # checksum cross-check inside the bench already guards exactness.
+        ("shard_sweep", "qps", "positive"),
+        ("rebalance", "rows_per_s", "positive"),
+        ("rebalance", "cuts_carried", "number"),
+        ("headline", "shard_scaling", "positive"),
+        ("headline", "routing", "string"),
+    ],
     "e4_updates": [
         # Merge-policy totals must be present for both the single-column
         # series and the row-atomic multi-column write mix, plus the

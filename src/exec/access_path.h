@@ -40,6 +40,7 @@
 #include "index/scan.h"
 #include "index/sorted_index.h"
 #include "parallel/partitioned_cracker_column.h"
+#include "parallel/piece_transfer.h"
 #include "storage/predicate.h"
 #include "storage/types.h"
 #include "update/updatable_column.h"
@@ -267,6 +268,39 @@ class AccessPath {
   /// estimate, not an allocator audit. Paths that apply writes eagerly
   /// report 0.
   virtual std::size_t approx_pending_bytes() const { return 0; }
+
+  // -- Crack introspection + shard migration (src/dist/) -------------------
+  //
+  // The defaults are honest no-ops: strategies without a cracker index
+  // have no piece structure to report or carry, and a rebalance over them
+  // migrates rows only (the structure rebuilds adaptively on the target).
+  // The crack-family paths override all four.
+
+  /// Cumulative crack-work counters (cracker index mutations); zeroes for
+  /// strategies that never crack. The rebalance differential pins "zero
+  /// new cracks at carried boundaries" on these.
+  virtual CrackerStats crack_stats() const { return {}; }
+
+  /// Realized pieces in the underlying cracked structure; 0 when none has
+  /// materialized (or the strategy has no pieces).
+  virtual std::size_t num_cracked_pieces() const { return 0; }
+
+  /// Appends every realized cut with value in [lo, hi] to `out`
+  /// (parallel/piece_transfer.h) — the serialized index investment a
+  /// rebalance carries alongside the rows.
+  virtual void ExportCuts(T lo, T hi, PieceBundle<T>* out) const {
+    (void)lo;
+    (void)hi;
+    (void)out;
+  }
+
+  /// Re-realizes carried cuts on this path (one bounding query per cut,
+  /// cracking only the piece that contains it). Returns how many cuts were
+  /// replayed; 0 for strategies with nothing to replay.
+  virtual std::size_t ReplayCuts(std::span<const SerializedCut<T>> cuts) {
+    (void)cuts;
+    return 0;
+  }
 };
 
 namespace internal {
@@ -486,6 +520,22 @@ class CrackPath final : public AccessPath<T> {
     return (column_->num_pending_inserts() + column_->num_pending_deletes()) *
            (sizeof(T) + sizeof(row_id_t));
   }
+  CrackerStats crack_stats() const override {
+    return column_ ? column_->stats() : CrackerStats{};
+  }
+  std::size_t num_cracked_pieces() const override {
+    return column_ ? column_->index().num_pieces() : 0;
+  }
+  void ExportCuts(T lo, T hi, PieceBundle<T>* out) const override {
+    if (!column_) return;  // never materialized: no investment to carry
+    ExportCutsInRange(column_->index(), lo, hi, out);
+  }
+  std::size_t ReplayCuts(std::span<const SerializedCut<T>> cuts) override {
+    for (const SerializedCut<T>& cut : cuts) {
+      Column().Count(RealizingPredicate(cut));
+    }
+    return cuts.size();
+  }
 
  private:
   UpdatableCrackerColumn<T>& Column() {
@@ -661,6 +711,29 @@ class ParallelCrackPath final : public AccessPath<T> {
   std::size_t approx_pending_bytes() const override {
     return const_cast<ParallelCrackPath*>(this)->Column().pending_update_count() *
            (sizeof(T) + sizeof(row_id_t));
+  }
+  CrackerStats crack_stats() const override {
+    return const_cast<ParallelCrackPath*>(this)->Column().AggregatedStats();
+  }
+  std::size_t num_cracked_pieces() const override {
+    return const_cast<ParallelCrackPath*>(this)->Column().aggregated_num_pieces();
+  }
+  void ExportCuts(T lo, T hi, PieceBundle<T>* out) const override {
+    const std::size_t before = out->cuts.size();
+    const_cast<ParallelCrackPath*>(this)->Column().VisitRealizedCuts(
+        [&](const Cut<T>& cut) {
+          if (cut.value < lo || cut.value > hi) return;
+          out->cuts.push_back({cut.value, cut.kind});
+        });
+    if (out->cuts.size() > before) {
+      out->source_pieces += out->cuts.size() - before + 1;
+    }
+  }
+  std::size_t ReplayCuts(std::span<const SerializedCut<T>> cuts) override {
+    for (const SerializedCut<T>& cut : cuts) {
+      Column().Count(RealizingPredicate(cut));
+    }
+    return cuts.size();
   }
 
  private:

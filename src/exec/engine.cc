@@ -46,29 +46,21 @@ std::size_t PathKeyHash::operator()(const PathKey& key) const {
 
 }  // namespace internal
 
-Database::Database() {
+DatabaseOptions DatabaseOptions::FromEnv() {
+  DatabaseOptions options;
   if (const char* env = std::getenv("AIDX_MEMORY_BUDGET")) {
     char* end = nullptr;
     const unsigned long long bytes = std::strtoull(env, &end, 10);
     if (end != env && *end == '\0') {
-      governor_->set_budget_bytes(static_cast<std::size_t>(bytes));
+      options.memory_budget = static_cast<std::size_t>(bytes);
     }
   }
+  return options;
 }
 
-void Database::SetDmlFaultHook(DmlFaultHook hook) {
-  if (!hook) {
-    failpoints::engine_dml_validate.Disarm();
-    return;
-  }
-  FailpointPolicy policy;
-  policy.mode = FailpointMode::kCallback;
-  policy.handler = [hook = std::move(hook)](std::string_view scope) -> Status {
-    const std::size_t sep = scope.find(kFailpointScopeSep);
-    if (sep == std::string_view::npos) return Status::OK();
-    return hook(scope.substr(0, sep), scope.substr(sep + 1));
-  };
-  failpoints::engine_dml_validate.Arm(policy);
+Database::Database(const DatabaseOptions& options)
+    : thread_pool_(options.thread_pool) {
+  governor_->set_budget_bytes(options.memory_budget);
 }
 
 Status Database::CreateTable(std::string name) {
@@ -122,8 +114,8 @@ Result<Table*> Database::PrepareRowDml(
     cols->push_back(typed);
   }
   // Validate-phase fault injection: one scoped evaluation per column, so a
-  // policy (or the compat hook) can target "table\x1fcolumn" precisely.
-  // The scope string is only built when the point is armed.
+  // policy can target "table\x1fcolumn" precisely. The scope string is
+  // only built when the point is armed.
   if (AIDX_PREDICT_FALSE(failpoints::engine_dml_validate.armed())) {
     for (const std::string& name : t->column_names()) {
       std::string scope;
@@ -293,6 +285,65 @@ Result<bool> Database::Delete(std::string_view table, std::string_view column,
   return true;
 }
 
+Result<std::size_t> Database::DeleteWhere(
+    std::string_view table, std::string_view column,
+    const RangePredicate<std::int64_t>& pred) {
+  std::vector<TypedColumn<std::int64_t>*> cols;
+  AIDX_ASSIGN_OR_RETURN(Table * t, PrepareRowDml(table, &cols));
+  const std::vector<std::string>& names = t->column_names();
+  std::size_t key_index = names.size();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == column) {
+      key_index = i;
+      break;
+    }
+  }
+  if (key_index == names.size()) {
+    return t->GetColumn(column).status();  // NotFound with the usual message
+  }
+  const auto key_values = cols[key_index]->Values();
+  std::vector<std::size_t> victims;
+  for (std::size_t pos = 0; pos < key_values.size(); ++pos) {
+    if (pred.Matches(key_values[pos])) victims.push_back(pos);
+  }
+  if (victims.empty()) return std::size_t{0};
+  // Validate phase done — nothing below can fail (row-atomicity). Capture
+  // the doomed rows before any structure mutates.
+  std::vector<std::vector<std::int64_t>> rows(victims.size());
+  std::vector<row_id_t> rids(victims.size());
+  const auto row_id_span = t->row_ids();
+  for (std::size_t v = 0; v < victims.size(); ++v) {
+    rows[v].resize(cols.size());
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      rows[v][i] = cols[i]->Values()[victims[v]];
+    }
+    rids[v] = row_id_span[victims[v]];
+  }
+  for (std::size_t v = 0; v < rows.size(); ++v) {
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      ForEachPathOf(table, names[i], [&](AccessPath<std::int64_t>& path) {
+        const bool removed = path.Delete(rows[v][i]);
+        AIDX_DCHECK(removed);
+        (void)removed;
+      });
+    }
+    ForEachSidewaysOf(table, [&](std::string_view head,
+                                 SidewaysCracker<std::int64_t>& cracker) {
+      std::size_t head_index = names.size();
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == head) {
+          head_index = i;
+          break;
+        }
+      }
+      AIDX_CHECK(head_index < names.size());
+      cracker.ApplyDelete(rids[v], rows[v][head_index]);
+    });
+  }
+  AIDX_CHECK_OK(t->EraseRows(victims));
+  return victims.size();
+}
+
 Result<AccessPath<std::int64_t>*> Database::PathFor(std::string_view table,
                                                     std::string_view column,
                                                     const StrategyConfig& config) {
@@ -306,39 +357,24 @@ Result<AccessPath<std::int64_t>*> Database::PathFor(std::string_view table,
   return raw;
 }
 
-Result<std::size_t> Database::Count(std::string_view table, std::string_view column,
-                                    const RangePredicate<std::int64_t>& pred,
-                                    const StrategyConfig& config) {
-  AIDX_ASSIGN_OR_RETURN(AccessPath<std::int64_t> * path, PathFor(table, column, config));
-  return path->Count(pred);
-}
-
-Result<double> Database::Sum(std::string_view table, std::string_view column,
-                             const RangePredicate<std::int64_t>& pred,
-                             const StrategyConfig& config) {
-  AIDX_ASSIGN_OR_RETURN(AccessPath<std::int64_t> * path, PathFor(table, column, config));
-  return static_cast<double>(path->Sum(pred));
-}
-
-Result<std::size_t> Database::Count(std::string_view table,
-                                    std::string_view column,
-                                    const RangePredicate<std::int64_t>& pred,
-                                    const StrategyConfig& config,
-                                    const QueryContext& ctx) {
+Result<std::size_t> Database::Count(const QueryRequest& req) {
   AIDX_ASSIGN_OR_RETURN(AccessPath<std::int64_t> * path,
-                        PathFor(table, column, config));
-  AIDX_ASSIGN_OR_RETURN(const std::size_t count, path->Count(pred, ctx));
+                        PathFor(req.table, req.column, req.strategy));
+  if (!req.context.has_value()) return path->Count(req.predicate);
+  AIDX_ASSIGN_OR_RETURN(const std::size_t count,
+                        path->Count(req.predicate, *req.context));
   SyncResourceGauges();
   return count;
 }
 
-Result<double> Database::Sum(std::string_view table, std::string_view column,
-                             const RangePredicate<std::int64_t>& pred,
-                             const StrategyConfig& config,
-                             const QueryContext& ctx) {
+Result<double> Database::Sum(const QueryRequest& req) {
   AIDX_ASSIGN_OR_RETURN(AccessPath<std::int64_t> * path,
-                        PathFor(table, column, config));
-  AIDX_ASSIGN_OR_RETURN(const long double sum, path->Sum(pred, ctx));
+                        PathFor(req.table, req.column, req.strategy));
+  if (!req.context.has_value()) {
+    return static_cast<double>(path->Sum(req.predicate));
+  }
+  AIDX_ASSIGN_OR_RETURN(const long double sum,
+                        path->Sum(req.predicate, *req.context));
   SyncResourceGauges();
   return static_cast<double>(sum);
 }
@@ -372,8 +408,11 @@ Result<SidewaysCracker<std::int64_t>*> Database::SidewaysFor(std::string_view ta
 }
 
 Result<ProjectionResult<std::int64_t>> Database::SelectProject(
-    std::string_view table, std::string_view head,
-    const RangePredicate<std::int64_t>& pred, const std::vector<std::string>& tails) {
+    const QueryRequest& req) {
+  const std::string_view table = req.table;
+  const std::string_view head = req.column;
+  const RangePredicate<std::int64_t>& pred = req.predicate;
+  const std::vector<std::string>& tails = req.tails;
   AIDX_ASSIGN_OR_RETURN(SidewaysCracker<std::int64_t> * cracker,
                         SidewaysFor(table, head));
   // Soft-budget admission over the map bytes this query would newly pin.
@@ -472,6 +511,55 @@ Result<const SidewaysCracker<std::int64_t>*> Database::SidewaysState(
 void Database::ResetAdaptiveState() {
   paths_.clear();
   sideways_.clear();
+}
+
+DatabaseStats Database::Stats() const {
+  DatabaseStats out;
+  out.tables = catalog_.size();
+  for (const std::string& name : catalog_.TableNames()) {
+    const auto table = catalog_.GetTable(name);
+    if (table.ok()) out.rows += (*table)->num_rows();
+  }
+  out.cached_paths = paths_.size();
+  out.cached_sideways = sideways_.size();
+  for (const auto& [key, path] : paths_) {
+    out.cracked_pieces += path->num_cracked_pieces();
+    out.pending_update_bytes += path->approx_pending_bytes();
+    const CrackerStats s = path->crack_stats();
+    out.crack.num_selects += s.num_selects;
+    out.crack.num_crack_in_two += s.num_crack_in_two;
+    out.crack.num_crack_in_three += s.num_crack_in_three;
+    out.crack.num_stochastic_cracks += s.num_stochastic_cracks;
+    out.crack.values_touched += s.values_touched;
+  }
+  return out;
+}
+
+Result<std::vector<ColumnCutExport>> Database::ExportColumnCuts(
+    std::string_view table, std::string_view column, std::int64_t lo,
+    std::int64_t hi) const {
+  AIDX_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(table));
+  AIDX_RETURN_NOT_OK(t->GetTypedColumn<std::int64_t>(column).status());
+  std::vector<ColumnCutExport> out;
+  for (const auto& [key, path] : paths_) {
+    if (key.table != table || key.column != column) continue;
+    ColumnCutExport entry;
+    entry.config = key.config;
+    path->ExportCuts(lo, hi, &entry.bundle);
+    if (!entry.bundle.empty()) out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Status Database::ReplayColumnCuts(std::string_view table,
+                                  std::string_view column,
+                                  const std::vector<ColumnCutExport>& exports) {
+  for (const ColumnCutExport& entry : exports) {
+    AIDX_ASSIGN_OR_RETURN(AccessPath<std::int64_t> * path,
+                          PathFor(table, column, entry.config));
+    path->ReplayCuts(entry.bundle.cuts);
+  }
+  return Status::OK();
 }
 
 }  // namespace aidx

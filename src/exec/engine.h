@@ -20,11 +20,11 @@
 // none of them. One row id is allocated per row (storage/table.h) and
 // shared by every structure. The partial-failure contract: every fallible
 // step — name resolution, type checks, row-width validation, the
-// test-only DML fault hook — runs before the first byte moves, so a
-// failed DML call leaves the table, its paths, and its sideways maps
-// observably unchanged (no torn rows). The apply phase orders paths ->
-// sideways log -> base, so paths that still borrow the base span snapshot
-// it before it changes.
+// `engine.dml_validate` failpoint (util/failpoint.h) — runs before the
+// first byte moves, so a failed DML call leaves the table, its paths, and
+// its sideways maps observably unchanged (no torn rows). The apply phase
+// orders paths -> sideways log -> base, so paths that still borrow the
+// base span snapshot it before it changes.
 //
 // Sideways cracker maps are NOT dropped on DML: crackers run in
 // table-backed mode (sideways/sideways.h) and each row mutation is
@@ -44,14 +44,23 @@
 // Database facade itself (catalog and path cache) must still be
 // externally serialized.
 //
+// The query surface is a single QueryRequest struct — table, column,
+// predicate, strategy, optional context, projection tails — with one
+// entry per verb (Count / Sum / SelectProject). A request is the
+// serializable unit the dist router (src/dist/) forwards to a shard
+// verbatim, and what a future socket front-end would ship. The historical
+// per-argument overloads remain as thin inline shims over the request
+// form; they are deprecated in favor of it (docs/UPDATES.md).
+//
 // Usage:
-//   Database db;
+//   Database db;                       // or Database(DatabaseOptions{...})
 //   AIDX_CHECK_OK(db.CreateTable("sales"));
 //   AIDX_CHECK_OK(db.AddColumn("sales", "amount", std::move(amounts)));
 //   AIDX_CHECK_OK(db.AddColumn("sales", "qty", std::move(qtys)));
-//   auto n = db.Count("sales", "amount",
-//                     RangePredicate<std::int64_t>::Between(lo, hi),
-//                     StrategyConfig::Crack());   // cracks as a side effect
+//   auto n = db.Count({.table = "sales",
+//                      .column = "amount",
+//                      .predicate = RangePredicate<std::int64_t>::Between(lo, hi),
+//                      .strategy = StrategyConfig::Crack()});  // cracks
 //   AIDX_CHECK_OK(db.Insert("sales", {42, 7}));  // row-atomic, all paths
 //   AIDX_CHECK_OK(db.Delete("sales", "amount", 42).status());
 // All entry points return Status/Result rather than throwing; errors are
@@ -59,9 +68,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <initializer_list>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -78,6 +87,8 @@
 #include "util/status.h"
 
 namespace aidx {
+
+class ThreadPool;
 
 namespace internal {
 
@@ -97,19 +108,74 @@ struct PathKeyHash {
 
 }  // namespace internal
 
+/// Construction-time configuration. Explicit options beat env sniffing:
+/// a ShardedDatabase configures its N nodes deterministically from one
+/// options value, and tests never depend on ambient environment state.
+/// The environment remains the *default* source — Database() delegates to
+/// FromEnv() — so existing env-driven workflows keep working.
+struct DatabaseOptions {
+  /// Soft budget (bytes) over auxiliary engine state — sideways maps and
+  /// pending update stores (util/resource_governor.h). kUnlimited (the
+  /// default) disables shedding.
+  std::size_t memory_budget = ResourceGovernor::kUnlimited;
+  /// Borrowed pool for engine-adjacent parallel work; may be null. The
+  /// Database does not own or shut it down. The dist layer threads its
+  /// scatter pool through here so every node shares one pool instead of
+  /// spawning per-node workers.
+  ThreadPool* thread_pool = nullptr;
+
+  /// The historical defaults: AIDX_MEMORY_BUDGET (bytes) applied when set
+  /// and parseable, everything else default-initialized.
+  static DatabaseOptions FromEnv();
+};
+
+/// A fully specified query against one table and column — the
+/// serializable unit of the query API. One request struct serves every
+/// verb: Count/Sum read `table`/`column`/`predicate`/`strategy` (+
+/// optional `context`); SelectProject reads `table`/`column` (the head) /
+/// `predicate`/`tails`. The dist router forwards requests verbatim.
+struct QueryRequest {
+  std::string table;
+  /// The aggregated column, or the selection head for SelectProject.
+  std::string column;
+  RangePredicate<std::int64_t> predicate = RangePredicate<std::int64_t>::All();
+  /// Which adaptive structure answers (and adapts); ignored by
+  /// SelectProject, whose sideways maps have their own machinery.
+  StrategyConfig strategy;
+  /// Deadline/cancellation; nullopt runs in the background context.
+  std::optional<QueryContext> context;
+  /// Projected columns (SelectProject only).
+  std::vector<std::string> tails;
+};
+
+/// Aggregate engine gauges for health endpoints (dist ShardStats).
+/// Rows/pieces/pending are live sums over the catalog and path cache;
+/// crack counters are cumulative.
+struct DatabaseStats {
+  std::size_t tables = 0;
+  std::size_t rows = 0;                 // summed over tables
+  std::size_t cached_paths = 0;
+  std::size_t cached_sideways = 0;
+  std::size_t cracked_pieces = 0;       // summed over cached paths
+  std::size_t pending_update_bytes = 0; // approx, summed over cached paths
+  CrackerStats crack;                   // summed crack-work counters
+};
+
+/// One cached path's carried index investment over a key range: the
+/// strategy it belongs to plus the serialized cuts (rebalance contract,
+/// docs/DISTRIBUTION.md).
+struct ColumnCutExport {
+  StrategyConfig config;
+  PieceBundle<std::int64_t> bundle;
+};
+
 /// Engine facade over int64 columns (the experiment type; the underlying
 /// templates support int32/float64 — see tests).
 class Database {
  public:
-  /// Test-only fault injection: called once per column during the validate
-  /// phase of every DML call; a non-OK return aborts the call before any
-  /// mutation (the partial-failure contract's executable witness).
-  using DmlFaultHook =
-      std::function<Status(std::string_view table, std::string_view column)>;
-
-  /// Reads the AIDX_MEMORY_BUDGET env knob (bytes; soft sideways/pending
-  /// budget) into the resource governor.
-  Database();
+  /// Equivalent to Database(DatabaseOptions::FromEnv()).
+  Database() : Database(DatabaseOptions::FromEnv()) {}
+  explicit Database(const DatabaseOptions& options);
   AIDX_DEFAULT_MOVE_ONLY(Database);
 
   /// Creates a table; fails on duplicates.
@@ -152,52 +218,79 @@ class Database {
   Result<bool> Delete(std::string_view table, std::string_view column,
                       std::int64_t value);
 
-  /// Rows of `table`.`column` matching `pred`, answered through the access
-  /// path of `config` (created lazily and cached per column+strategy, so
-  /// repeated calls adapt the same structure).
+  /// Deletes *every* base row whose `column` value matches `pred`,
+  /// row-atomically (same validate-then-apply contract as Delete, one
+  /// bulk compaction pass over the base). Returns the number of rows
+  /// removed. The dist layer's rebalance uses this to evacuate a migrated
+  /// key range from the source shard.
+  Result<std::size_t> DeleteWhere(std::string_view table,
+                                  std::string_view column,
+                                  const RangePredicate<std::int64_t>& pred);
+
+  /// COUNT(*) over rows matching `req` — answered through the access path
+  /// of `req.strategy` (created lazily and cached per column+strategy, so
+  /// repeated requests adapt the same structure). With `req.context`, the
+  /// context is checked at query entry and at piece granularity inside the
+  /// crack loops: an expired or cancelled query returns DeadlineExceeded /
+  /// Cancelled with the index ValidatePieces-clean, and cracks realized
+  /// before expiry are KEPT (ordinary incremental indexing investment) —
+  /// pending-update merges roll forward or park at a clean boundary,
+  /// never mid-step.
+  Result<std::size_t> Count(const QueryRequest& req);
+
+  /// SUM(column) over rows matching `req`; same caching and context
+  /// semantics as Count.
+  Result<double> Sum(const QueryRequest& req);
+
+  /// σ_predicate(column) projecting `req.tails`, via sideways cracking
+  /// (one cracker map per projected column, adaptively aligned, maintained
+  /// incrementally under DML).
+  Result<ProjectionResult<std::int64_t>> SelectProject(const QueryRequest& req);
+
+  // -- Deprecated per-argument overloads ------------------------------------
+  //
+  // Thin shims over the QueryRequest form, kept for source compatibility
+  // (docs/UPDATES.md marks them deprecated). New code — and anything that
+  // may one day cross a wire — should build a QueryRequest.
+
   Result<std::size_t> Count(std::string_view table, std::string_view column,
                             const RangePredicate<std::int64_t>& pred,
-                            const StrategyConfig& config);
-
-  /// SUM(column) over matching rows; same caching semantics as Count.
-  Result<double> Sum(std::string_view table, std::string_view column,
-                     const RangePredicate<std::int64_t>& pred,
-                     const StrategyConfig& config);
-
-  /// Deadline/cancellation-aware Count: `ctx` is checked at query entry
-  /// and at piece granularity inside the crack loops. An expired or
-  /// cancelled query returns DeadlineExceeded / Cancelled with the index
-  /// ValidatePieces-clean; cracks realized before expiry are KEPT (they
-  /// are ordinary incremental indexing investment) and pending-update
-  /// merges roll forward or park at a clean boundary, never mid-step.
+                            const StrategyConfig& config) {
+    return Count(MakeRequest(table, column, pred, config));
+  }
   Result<std::size_t> Count(std::string_view table, std::string_view column,
                             const RangePredicate<std::int64_t>& pred,
                             const StrategyConfig& config,
-                            const QueryContext& ctx);
-
-  /// Deadline/cancellation-aware Sum; same contract as the Count overload.
+                            const QueryContext& ctx) {
+    QueryRequest req = MakeRequest(table, column, pred, config);
+    req.context = ctx;
+    return Count(req);
+  }
   Result<double> Sum(std::string_view table, std::string_view column,
                      const RangePredicate<std::int64_t>& pred,
-                     const StrategyConfig& config, const QueryContext& ctx);
-
-  /// σ_pred(head) projecting `tails`, via sideways cracking (one cracker
-  /// map per projected column, adaptively aligned, maintained
-  /// incrementally under DML).
+                     const StrategyConfig& config) {
+    return Sum(MakeRequest(table, column, pred, config));
+  }
+  Result<double> Sum(std::string_view table, std::string_view column,
+                     const RangePredicate<std::int64_t>& pred,
+                     const StrategyConfig& config, const QueryContext& ctx) {
+    QueryRequest req = MakeRequest(table, column, pred, config);
+    req.context = ctx;
+    return Sum(req);
+  }
   Result<ProjectionResult<std::int64_t>> SelectProject(
       std::string_view table, std::string_view head,
       const RangePredicate<std::int64_t>& pred,
-      const std::vector<std::string>& tails);
+      const std::vector<std::string>& tails) {
+    QueryRequest req = MakeRequest(table, head, pred, StrategyConfig());
+    req.tails = tails;
+    return SelectProject(req);
+  }
+  // -------------------------------------------------------------------------
 
   /// Drops every cached adaptive structure (access paths and sideways
   /// maps); base tables are untouched.
   void ResetAdaptiveState();
-
-  /// Installs (or clears, with nullptr) the DML fault hook. Tests only.
-  /// Compatibility shim over the `engine.dml_validate` failpoint
-  /// (util/failpoint.h): the hook is wrapped in a callback policy keyed by
-  /// a "table\x1fcolumn" scope string, so it is process-global, not
-  /// per-Database — exactly one hook is live at a time.
-  void SetDmlFaultHook(DmlFaultHook hook);
 
   /// Soft memory budget (bytes) over auxiliary engine state — sideways
   /// maps and pending update stores. Under pressure the engine sheds cold
@@ -218,7 +311,41 @@ class Database {
   std::size_t num_cached_paths() const { return paths_.size(); }
   std::size_t num_cached_sideways() const { return sideways_.size(); }
 
+  /// Borrowed pool handed in via DatabaseOptions; null when none was.
+  ThreadPool* thread_pool() const { return thread_pool_; }
+
+  /// Aggregate gauges over the catalog and caches (dist ShardStats).
+  DatabaseStats Stats() const;
+
+  // -- Shard-migration hooks (src/dist/, docs/DISTRIBUTION.md) --------------
+
+  /// Exports, per cached access path of (table, column), the realized cuts
+  /// with values in [lo, hi] — the index investment a rebalance carries
+  /// alongside the migrated rows. Paths without cut structure contribute
+  /// nothing. NotFound when the table or column does not exist.
+  Result<std::vector<ColumnCutExport>> ExportColumnCuts(
+      std::string_view table, std::string_view column, std::int64_t lo,
+      std::int64_t hi) const;
+
+  /// Re-realizes carried cuts: for each export, the access path of its
+  /// config is fetched (created lazily if absent — it then materializes
+  /// over the post-migration base) and replays the bundle, so queries
+  /// bounded at carried values perform zero new cracks.
+  Status ReplayColumnCuts(std::string_view table, std::string_view column,
+                          const std::vector<ColumnCutExport>& exports);
+
  private:
+  static QueryRequest MakeRequest(std::string_view table, std::string_view column,
+                                  const RangePredicate<std::int64_t>& pred,
+                                  const StrategyConfig& config) {
+    QueryRequest req;
+    req.table = std::string(table);
+    req.column = std::string(column);
+    req.predicate = pred;
+    req.strategy = config;
+    return req;
+  }
+
   Result<std::span<const std::int64_t>> ColumnSpan(std::string_view table,
                                                    std::string_view column) const;
   Result<AccessPath<std::int64_t>*> PathFor(std::string_view table,
@@ -272,6 +399,7 @@ class Database {
       const std::vector<std::string>& tails) const;
 
   Catalog catalog_;
+  ThreadPool* thread_pool_ = nullptr;  // borrowed (DatabaseOptions)
   std::unordered_map<internal::PathKey, std::unique_ptr<AccessPath<std::int64_t>>,
                      internal::PathKeyHash>
       paths_;

@@ -597,6 +597,31 @@ class PartitionedCrackerColumn {
     return total;
   }
 
+  /// Piece serialization (parallel/piece_transfer.h): visits every
+  /// realized cut across partitions — partitions in value order, cuts
+  /// ascending within each, so the walk is globally ascending — under
+  /// whole-partition exclusion. `fn(const Cut<T>&)` per cut. Thread-safe.
+  template <typename Fn>
+  void VisitRealizedCuts(Fn&& fn) const {
+    for (const auto& shard : shards_) {
+      WithShardExclusive(*shard, [&] {
+        shard->column.index().VisitCuts(
+            [&](const Cut<T>& cut, const std::size_t&) { fn(cut); });
+      });
+    }
+  }
+
+  /// Realized piece count summed over partitions (a fresh partition is one
+  /// piece). Thread-safe.
+  std::size_t aggregated_num_pieces() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      WithShardExclusive(*shard,
+                         [&] { total += shard->column.index().num_pieces(); });
+    }
+    return total;
+  }
+
   /// Sum of all partitions' update-pipeline counters, including writes
   /// still buffered in the striped write buckets (queue-side counters live
   /// in shard atomics; merge-side counters live in the inner columns, and

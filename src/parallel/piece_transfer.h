@@ -1,0 +1,79 @@
+// Piece serialization for shard migration (src/dist/): the wire-shaped
+// representation of a cracked column's index investment over one key
+// range, and the helpers that export it from a live cracker index and
+// replay it into another.
+//
+// A rebalance does not ship physical arrays — pieces are position ranges
+// into a shard-local array, and positions mean nothing on another node.
+// What survives the move is the *partition knowledge*: the realized cut
+// values (with their kinds, core/cut.h) inside the migrated key range.
+// Export collects those cuts; replay re-realizes each one on the target
+// with the single bounding query that installs exactly that cut, so a
+// later query bounded at a carried value finds its boundary already cut
+// and performs zero new cracks (the EDBT'12 invariant that cracked
+// investment is never thrown away, extended across a shard move).
+//
+// Replay cost is one crack per carried cut, confined to the piece being
+// split — the same work the original queries paid, re-paid once at
+// install time instead of drip-paid by the target's future queries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cracker_index.h"
+#include "core/cut.h"
+#include "storage/predicate.h"
+#include "storage/types.h"
+
+namespace aidx {
+
+/// One realized cut, detached from any array: the value and which side of
+/// an equal value the boundary falls on. Plain data, ready for a future
+/// socket codec.
+template <ColumnValue T>
+struct SerializedCut {
+  T value{};
+  CutKind kind = CutKind::kLess;
+
+  friend bool operator==(const SerializedCut&, const SerializedCut&) = default;
+};
+
+/// The index investment of one column over one key range: every realized
+/// cut whose value lies in [lo, hi], ascending, plus the piece count the
+/// range spanned at export time (a carried-over figure for stats and the
+/// rebalance bench, not needed for replay).
+template <ColumnValue T>
+struct PieceBundle {
+  std::vector<SerializedCut<T>> cuts;
+  std::size_t source_pieces = 0;
+
+  bool empty() const { return cuts.empty(); }
+};
+
+/// Exports the cuts of `index` with values in [lo, hi] into `out->cuts`
+/// (appending, ascending — VisitCuts walks in order) and counts the pieces
+/// the range spans. The index is not modified.
+template <ColumnValue T>
+void ExportCutsInRange(const CrackerIndex<T>& index, T lo, T hi,
+                       PieceBundle<T>* out) {
+  index.VisitCuts([&](const Cut<T>& cut, const std::size_t&) {
+    if (cut.value < lo || cut.value > hi) return;
+    out->cuts.push_back({cut.value, cut.kind});
+    ++out->source_pieces;
+  });
+  if (out->source_pieces > 0) ++out->source_pieces;  // k interior cuts span k+1 pieces
+}
+
+/// The predicate whose lower bound realizes exactly `cut` when queried
+/// (core/cut.h: x >= v installs (v, kLess); x > v installs (v, kLessEq)).
+/// Replaying a bundle is Count(RealizingPredicate(cut)) per cut: each call
+/// cracks the one piece containing the cut value and registers the
+/// boundary, leaving every other piece untouched.
+template <ColumnValue T>
+RangePredicate<T> RealizingPredicate(const SerializedCut<T>& cut) {
+  return cut.kind == CutKind::kLess ? RangePredicate<T>::AtLeast(cut.value)
+                                    : RangePredicate<T>::GreaterThan(cut.value);
+}
+
+}  // namespace aidx

@@ -35,6 +35,17 @@ class Column {
   /// columns in lock step (row-atomic DML).
   virtual void EraseRow(std::size_t pos) = 0;
 
+  /// Erases the values at `sorted_positions` (strictly ascending, in
+  /// range), order-preserving. The default loops EraseRow back to front;
+  /// TypedColumn overrides with a single compaction pass — the bulk
+  /// primitive shard rebalance uses to evacuate a key range in O(n)
+  /// instead of O(rows_moved * n).
+  virtual void EraseRows(std::span<const std::size_t> sorted_positions) {
+    for (std::size_t i = sorted_positions.size(); i > 0; --i) {
+      EraseRow(sorted_positions[i - 1]);
+    }
+  }
+
   /// Down-casts to the typed column; returns an error on a type mismatch.
   template <ColumnValue T>
   Result<TypedColumn<T>*> As() {
@@ -79,6 +90,21 @@ class TypedColumn final : public Column {
   void EraseRow(std::size_t pos) override {
     AIDX_DCHECK(pos < values_.size());
     values_.erase(values_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  void EraseRows(std::span<const std::size_t> sorted_positions) override {
+    if (sorted_positions.empty()) return;
+    std::size_t write = sorted_positions.front();
+    std::size_t next_victim = 0;
+    for (std::size_t read = write; read < values_.size(); ++read) {
+      if (next_victim < sorted_positions.size() &&
+          read == sorted_positions[next_victim]) {
+        AIDX_DCHECK(read < values_.size());
+        ++next_victim;
+        continue;
+      }
+      values_[write++] = values_[read];
+    }
+    values_.resize(write);
   }
 
   /// Unchecked element access (hot paths); bounds are the caller's contract.

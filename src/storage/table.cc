@@ -78,6 +78,35 @@ Status Table::EraseRow(std::size_t pos) {
   return Status::OK();
 }
 
+Status Table::EraseRows(std::span<const std::size_t> sorted_positions) {
+  if (sorted_positions.empty()) return Status::OK();
+  for (std::size_t i = 0; i < sorted_positions.size(); ++i) {
+    if (sorted_positions[i] >= num_rows()) {
+      return Status::OutOfRange("row " + std::to_string(sorted_positions[i]) +
+                                " out of range; table '" + name_ + "' has " +
+                                std::to_string(num_rows()) + " rows");
+    }
+    if (i > 0 && sorted_positions[i] <= sorted_positions[i - 1]) {
+      return Status::InvalidArgument(
+          "EraseRows positions must be strictly ascending");
+    }
+  }
+  EnsureRowIds();
+  for (auto& [_, col] : columns_) col->EraseRows(sorted_positions);
+  std::size_t write = sorted_positions.front();
+  std::size_t next_victim = 0;
+  for (std::size_t read = write; read < row_ids_.size(); ++read) {
+    if (next_victim < sorted_positions.size() &&
+        read == sorted_positions[next_victim]) {
+      ++next_victim;
+      continue;
+    }
+    row_ids_[write++] = row_ids_[read];
+  }
+  row_ids_.resize(write);
+  return Status::OK();
+}
+
 Result<Column*> Table::GetColumn(std::string_view column_name) const {
   const auto it = columns_.find(std::string(column_name));
   if (it == columns_.end()) {

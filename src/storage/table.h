@@ -74,6 +74,11 @@ class Table {
   /// retires its id.
   Status EraseRow(std::size_t pos);
 
+  /// Erases the rows at `sorted_positions` (strictly ascending) from every
+  /// column in one compaction pass each, retiring their ids — the bulk
+  /// form shard rebalance uses to evacuate a migrated key range.
+  Status EraseRows(std::span<const std::size_t> sorted_positions);
+
   /// Total payload bytes across columns.
   std::size_t MemoryUsageBytes() const;
 

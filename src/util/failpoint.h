@@ -9,8 +9,8 @@
 //   kError          return a Status of the configured code
 //   kDelay          sleep for the configured duration, then return OK
 //   kProbabilistic  return the error with probability p, else OK
-//   kCallback       delegate to a std::function (test-only; this is how
-//                   the legacy Database::DmlFaultHook is implemented)
+//   kCallback       delegate to a std::function (test-only; lets a test
+//                   fail selectively by inspecting the injection scope)
 //
 // Arming is either programmatic (tests call Arm/Disarm or
 // FailpointRegistry::Configure) or environmental: AIDX_FAILPOINTS holds a
@@ -213,6 +213,23 @@ inline Failpoint storage_add_column{"storage.add_column"};
 
 /// Table::CommitAppendedRow (apply phase). Delay-only.
 inline Failpoint storage_commit_row{"storage.commit_row"};
+
+/// ShardRouter::ShardOf — every routed DML and rebalance boundary lookup.
+/// Error-capable; fires before the owning node is touched, so a routed
+/// operation aborts with no shard mutated. Scope: the table name.
+inline Failpoint dist_route{"dist.route"};
+
+/// Per-shard scatter task entry (ShardedDatabase Count/Sum/SelectProject
+/// fan-out). Error-capable: an injected error fails that shard's leg and
+/// cancels the remaining legs via the chained scatter token. Scope:
+/// "table\x1fshard<i>".
+inline Failpoint dist_scatter{"dist.scatter"};
+
+/// Per serialized piece-bundle chunk during Rebalance. Error-capable, and
+/// evaluated in the rebalance validate phase — before the first row leaves
+/// the source shard — so a fired error aborts the whole migration with
+/// both shards untouched. Scope: "table\x1fpiece<i>".
+inline Failpoint dist_migrate_piece{"dist.migrate_piece"};
 
 }  // namespace failpoints
 

@@ -25,13 +25,32 @@ namespace aidx {
 
 /// Shared cancellation flag; hand the same token to the query and to
 /// whatever decides to cancel it (another thread, a timeout reaper, ...).
+///
+/// Tokens chain: a token built with Chained(parent) reports cancelled when
+/// either it or the parent is cancelled, while Cancel() on the child never
+/// touches the parent. The dist scatter layer uses this to give each
+/// fan-out its own kill switch (first shard error cancels the sibling
+/// legs) without being able to cancel the caller's query as a whole.
 class CancellationToken {
  public:
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
-  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return parent_ != nullptr && parent_->cancelled();
+  }
+
+  /// A fresh token that also observes `parent` (which may be null — then
+  /// this is just a new independent token).
+  static std::shared_ptr<CancellationToken> Chained(
+      std::shared_ptr<const CancellationToken> parent) {
+    auto token = std::make_shared<CancellationToken>();
+    token->parent_ = std::move(parent);
+    return token;
+  }
 
  private:
   std::atomic<bool> cancelled_{false};
+  std::shared_ptr<const CancellationToken> parent_;
 };
 
 class QueryContext {
@@ -56,6 +75,16 @@ class QueryContext {
   QueryContext& SetToken(std::shared_ptr<CancellationToken> token) {
     token_ = std::move(token);
     return *this;
+  }
+
+  /// A child context for one leg of a fan-out: same deadline, but a fresh
+  /// token chained to this context's token. Cancelling the returned
+  /// context's token stops that leg (and its siblings, if they share it)
+  /// without cancelling the parent query.
+  QueryContext Derived() const {
+    QueryContext child = *this;
+    child.token_ = CancellationToken::Chained(token_);
+    return child;
   }
 
   bool has_deadline() const { return has_deadline_; }

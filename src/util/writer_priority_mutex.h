@@ -1,0 +1,81 @@
+// A reader/writer mutex with strict writer priority.
+//
+// std::shared_mutex on glibc maps to a reader-preferring pthread rwlock:
+// under a steady stream of readers a writer can wait unboundedly, because
+// new readers keep acquiring while the writer is queued. The dist layer's
+// topology lock cannot live with that — every query holds it shared, so a
+// Rebalance (the only exclusive acquirer) would see seconds of latency on
+// a busy store. This lock blocks NEW readers as soon as a writer is
+// waiting: the writer gets in after at most the in-flight readers drain,
+// making rebalance latency bounded by the longest running query.
+//
+// Not reentrant, not upgradeable. Satisfies the SharedMutex interface
+// subset std::shared_lock / std::unique_lock use.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "util/macros.h"
+
+namespace aidx {
+
+class WriterPriorityMutex {
+ public:
+  WriterPriorityMutex() = default;
+  AIDX_DISALLOW_COPY_AND_ASSIGN(WriterPriorityMutex);
+
+  void lock_shared() {
+    std::unique_lock<std::mutex> lock(mu_);
+    reader_cv_.wait(lock, [&] { return writers_waiting_ == 0 && !writer_active_; });
+    ++readers_;
+  }
+
+  bool try_lock_shared() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (writers_waiting_ != 0 || writer_active_) return false;
+    ++readers_;
+    return true;
+  }
+
+  void unlock_shared() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--readers_ == 0) writer_cv_.notify_one();
+  }
+
+  void lock() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++writers_waiting_;
+    writer_cv_.wait(lock, [&] { return readers_ == 0 && !writer_active_; });
+    --writers_waiting_;
+    writer_active_ = true;
+  }
+
+  bool try_lock() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (readers_ != 0 || writer_active_) return false;
+    writer_active_ = true;
+    return true;
+  }
+
+  void unlock() {
+    std::unique_lock<std::mutex> lock(mu_);
+    writer_active_ = false;
+    if (writers_waiting_ != 0) {
+      writer_cv_.notify_one();
+    } else {
+      reader_cv_.notify_all();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable reader_cv_;
+  std::condition_variable writer_cv_;
+  std::size_t readers_ = 0;
+  std::size_t writers_waiting_ = 0;
+  bool writer_active_ = false;
+};
+
+}  // namespace aidx

@@ -14,7 +14,8 @@
 //
 // Environment knobs (CI's fault-schedule job sets both):
 //   AIDX_FAULT_SCHEDULE  named schedule for the randomized test
-//                        (quiet | delays | errors | mixed; default mixed)
+//                        (quiet | delays | errors | mixed | dist;
+//                        default mixed)
 //   AIDX_FAULT_SEED      seed for the randomized test, echoed in the log
 //
 // Runs under ThreadSanitizer via the `concurrency` ctest label.
@@ -455,6 +456,13 @@ std::string ScheduleSpec(const std::string& name) {
   if (name == "errors") {
     return "parallel.bg_merge_step=prob(0.2);parallel.bg_submit=prob(0.1);"
            "crack.piece=prob(0.05)";
+  }
+  if (name == "dist") {
+    // Aimed at the sharded serving layer (tests/sharded_db_test.cc picks
+    // this up through the same env knob); the dist.* points never fire on
+    // a single node, so for this suite it behaves like a light `errors`.
+    return "dist.route=prob(0.03);dist.scatter=prob(0.05);"
+           "dist.migrate_piece=prob(0.1);crack.piece=delay(10)";
   }
   // mixed (default)
   return "crack.piece=prob(0.02);parallel.bg_merge_step=prob(0.05);"

@@ -1,0 +1,642 @@
+// Differential harness for the sharded serving layer (src/dist/,
+// docs/DISTRIBUTION.md): a ShardedDatabase over N nodes must answer every
+// query bit-exactly like one single-node Database over the same rows —
+// across shard counts, both routing disciplines, interleaved DML,
+// rebalances, and seeded fault schedules.
+//
+// The acceptance pins:
+//  - differential exactness for N in {1, 2, 4, 8} under hash and range
+//    routing, with writes interleaved between queries;
+//  - Rebalance preserves index investment: carried cuts are re-realized
+//    on the target, so a query bounded at a carried cut value performs
+//    ZERO new cracks there;
+//  - reads overlapping a rebalance stay exact (the topology lock makes a
+//    scatter see the migration wholly before or wholly after);
+//  - dist.* failpoints abort cleanly in the validate phase — a faulted
+//    route/scatter/migration leaves every shard's answer unchanged.
+//
+// Environment knobs (CI's fault-schedule job sets both; the `dist`
+// schedule aims at this suite):
+//   AIDX_FAULT_SCHEDULE  quiet | delays | errors | mixed | dist
+//   AIDX_FAULT_SEED      seed for the randomized test, echoed in the log
+//
+// Runs under ThreadSanitizer via the `concurrency` ctest label.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/sharded_database.h"
+#include "exec/engine.h"
+#include "util/failpoint.h"
+#include "util/query_context.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace aidx {
+namespace {
+
+using Pred = RangePredicate<std::int64_t>;
+
+constexpr std::int64_t kDomain = 1000;
+
+// Rows are a pure function of the key, so two stores holding the same key
+// multiset hold identical row multisets — the property every differential
+// comparison below rests on.
+std::int64_t PayloadA(std::int64_t k) { return k * 7 + 1; }
+std::int64_t PayloadB(std::int64_t k) { return k % 13 - 5; }
+
+QueryRequest Req(std::string table, std::string column, Pred pred) {
+  QueryRequest req;
+  req.table = std::move(table);
+  req.column = std::move(column);
+  req.predicate = pred;
+  req.strategy = StrategyConfig::Crack();
+  return req;
+}
+
+std::vector<std::int64_t> RandomKeys(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> keys(n);
+  for (auto& k : keys) k = static_cast<std::int64_t>(rng.NextBounded(kDomain));
+  return keys;
+}
+
+std::vector<std::int64_t> RowMajor(const std::vector<std::int64_t>& keys) {
+  std::vector<std::int64_t> rows;
+  rows.reserve(keys.size() * 3);
+  for (auto k : keys) {
+    rows.push_back(k);
+    rows.push_back(PayloadA(k));
+    rows.push_back(PayloadB(k));
+  }
+  return rows;
+}
+
+TableRoutingSpec SpecFor(RoutingKind kind, std::size_t num_shards) {
+  TableRoutingSpec spec;
+  spec.key_column = "k";
+  spec.kind = kind;
+  if (kind == RoutingKind::kRange) {
+    // Evenly spaced boundaries over the key domain.
+    for (std::size_t i = 1; i < num_shards; ++i) {
+      spec.range_boundaries.push_back(
+          static_cast<std::int64_t>(i * kDomain / num_shards));
+    }
+  }
+  return spec;
+}
+
+Status SetUpTable(ShardedDatabase* db, RoutingKind kind) {
+  AIDX_RETURN_NOT_OK(db->CreateTable("t", SpecFor(kind, db->num_shards())));
+  AIDX_RETURN_NOT_OK(db->AddColumn("t", "k"));
+  AIDX_RETURN_NOT_OK(db->AddColumn("t", "a"));
+  AIDX_RETURN_NOT_OK(db->AddColumn("t", "b"));
+  return Status::OK();
+}
+
+Status SetUpOracle(Database* db) {
+  AIDX_RETURN_NOT_OK(db->CreateTable("t"));
+  AIDX_RETURN_NOT_OK(db->AddColumn("t", "k", {}));
+  AIDX_RETURN_NOT_OK(db->AddColumn("t", "a", {}));
+  AIDX_RETURN_NOT_OK(db->AddColumn("t", "b", {}));
+  return Status::OK();
+}
+
+using RowTuple = std::vector<std::int64_t>;
+
+std::vector<RowTuple> SortedRows(const ProjectionResult<std::int64_t>& res) {
+  std::vector<RowTuple> rows(res.num_rows);
+  for (std::size_t i = 0; i < res.num_rows; ++i) {
+    for (const auto& column : res.columns) rows[i].push_back(column[i]);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+class ShardedDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Instance().DisarmAll(); }
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+
+  static Status Configure(const std::string& spec) {
+    return FailpointRegistry::Instance().Configure(spec);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Router unit surface.
+// ---------------------------------------------------------------------------
+
+TEST_F(ShardedDbTest, RouterValidatesSpecs) {
+  ShardRouter router(4);
+  TableRoutingSpec bad;
+  bad.key_column = "k";
+  bad.kind = RoutingKind::kRange;
+  bad.range_boundaries = {10, 5, 20};  // not ascending
+  EXPECT_TRUE(router.RegisterTable("t", bad).IsInvalidArgument());
+  bad.range_boundaries = {10, 20};  // wrong count for 4 shards
+  EXPECT_TRUE(router.RegisterTable("t", bad).IsInvalidArgument());
+  bad.range_boundaries = {10, 20, 30};
+  EXPECT_TRUE(router.RegisterTable("t", bad).ok());
+  EXPECT_TRUE(router.RegisterTable("t", SpecFor(RoutingKind::kHash, 4))
+                  .IsAlreadyExists());
+  EXPECT_TRUE(router.ShardOf("unknown", 1).status().IsNotFound());
+}
+
+TEST_F(ShardedDbTest, RangeRoutingOwnsContiguousIntervals) {
+  ShardRouter router(4);
+  TableRoutingSpec spec;
+  spec.key_column = "k";
+  spec.kind = RoutingKind::kRange;
+  spec.range_boundaries = {100, 200, 300};
+  ASSERT_TRUE(router.RegisterTable("t", spec).ok());
+  EXPECT_EQ(*router.ShardOf("t", -50), 0u);
+  EXPECT_EQ(*router.ShardOf("t", 99), 0u);
+  EXPECT_EQ(*router.ShardOf("t", 100), 1u);
+  EXPECT_EQ(*router.ShardOf("t", 250), 2u);
+  EXPECT_EQ(*router.ShardOf("t", 300), 3u);
+  EXPECT_EQ(*router.ShardOf("t", 1 << 20), 3u);
+
+  // Range reads prune to intersecting intervals only.
+  auto shards = *router.ShardsFor("t", Pred::Between(120, 180));
+  EXPECT_EQ(shards, (std::vector<std::size_t>{1}));
+  shards = *router.ShardsFor("t", Pred::Between(99, 100));
+  EXPECT_EQ(shards, (std::vector<std::size_t>{0, 1}));
+  shards = *router.ShardsFor("t", Pred::All());
+  EXPECT_EQ(shards.size(), 4u);
+  shards = *router.ShardsFor("t", Pred::HalfOpen(0, 100));
+  EXPECT_EQ(shards, (std::vector<std::size_t>{0}));
+}
+
+TEST_F(ShardedDbTest, HashRoutingIsDeterministicAndTotal) {
+  ShardRouter a(8), b(8);
+  ASSERT_TRUE(a.RegisterTable("t", SpecFor(RoutingKind::kHash, 8)).ok());
+  ASSERT_TRUE(b.RegisterTable("t", SpecFor(RoutingKind::kHash, 8)).ok());
+  std::vector<std::size_t> hits(8, 0);
+  for (std::int64_t k = 0; k < 4000; ++k) {
+    const std::size_t s = *a.ShardOf("t", k);
+    ASSERT_LT(s, 8u);
+    EXPECT_EQ(s, *b.ShardOf("t", k)) << "ring layout must be stable";
+    ++hits[s];
+  }
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_GT(hits[s], 0u) << "shard " << s << " owns nothing";
+  }
+  // Hash reads scatter everywhere.
+  EXPECT_EQ(a.ShardsFor("t", Pred::Between(1, 2))->size(), 8u);
+}
+
+TEST_F(ShardedDbTest, OverridesWinForInsertsAndWidenReads) {
+  ShardRouter router(4);
+  TableRoutingSpec spec;
+  spec.key_column = "k";
+  spec.kind = RoutingKind::kRange;
+  spec.range_boundaries = {100, 200, 300};
+  ASSERT_TRUE(router.RegisterTable("t", spec).ok());
+  ASSERT_TRUE(router.AddOverride("t", 120, 180, 3).ok());
+  EXPECT_EQ(*router.ShardOf("t", 150), 3u);  // override wins
+  EXPECT_EQ(*router.ShardOf("t", 199), 1u);  // outside the override
+  // A later overlapping override supersedes for inserts...
+  ASSERT_TRUE(router.AddOverride("t", 120, 180, 2).ok());
+  EXPECT_EQ(*router.ShardOf("t", 150), 2u);
+  // ...but reads still include every historical target (superset).
+  const auto shards = *router.ShardsFor("t", Pred::Between(150, 150));
+  EXPECT_TRUE(std::find(shards.begin(), shards.end(), 3u) != shards.end());
+  EXPECT_TRUE(std::find(shards.begin(), shards.end(), 2u) != shards.end());
+  EXPECT_EQ(router.num_overrides("t"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential exactness across shard counts and routings.
+// ---------------------------------------------------------------------------
+
+void RunDifferential(std::size_t num_shards, RoutingKind kind,
+                     std::uint64_t seed, ThreadPool* pool) {
+  SCOPED_TRACE(std::string(RoutingKindName(kind)) + " N=" +
+               std::to_string(num_shards) + " seed=" + std::to_string(seed));
+  ShardedDatabaseOptions options;
+  options.num_shards = num_shards;
+  options.scatter_pool = pool;
+  ShardedDatabase sharded(options);
+  Database oracle;
+  ASSERT_TRUE(SetUpTable(&sharded, kind).ok());
+  ASSERT_TRUE(SetUpOracle(&oracle).ok());
+
+  std::vector<std::int64_t> keys = RandomKeys(2000, seed);
+  const auto rows = RowMajor(keys);
+  ASSERT_TRUE(sharded.InsertBatch("t", rows).ok());
+  ASSERT_TRUE(oracle.InsertBatch("t", rows).ok());
+
+  Rng rng(seed ^ 0xD157);
+  for (int round = 0; round < 20; ++round) {
+    // Interleaved writes.
+    for (int w = 0; w < 10; ++w) {
+      if (rng.NextBounded(3) != 0 || keys.empty()) {
+        const auto k = static_cast<std::int64_t>(rng.NextBounded(kDomain));
+        ASSERT_TRUE(sharded.Insert("t", {k, PayloadA(k), PayloadB(k)}).ok());
+        ASSERT_TRUE(oracle.Insert("t", {k, PayloadA(k), PayloadB(k)}).ok());
+        keys.push_back(k);
+      } else {
+        const auto k = keys[rng.NextBounded(keys.size())];
+        auto d1 = sharded.Delete("t", "k", k);
+        auto d2 = oracle.Delete("t", "k", k);
+        ASSERT_TRUE(d1.ok() && d2.ok());
+        ASSERT_EQ(*d1, *d2);
+        keys.erase(std::find(keys.begin(), keys.end(), k));
+      }
+    }
+    // Count / Sum over the key and a payload column; predicates over a
+    // non-key column must not be prunable (TargetsFor falls back to all
+    // shards) — both cases must match the oracle bit-for-bit.
+    const auto lo = static_cast<std::int64_t>(rng.NextBounded(kDomain));
+    const Pred key_pred = Pred::Between(lo, lo + 150);
+    const Pred pay_pred = Pred::Between(PayloadA(lo), PayloadA(lo + 100));
+    for (const auto& probe :
+         {Req("t", "k", key_pred), Req("t", "a", pay_pred),
+          Req("t", "k", Pred::All())}) {
+      auto c1 = sharded.Count(probe);
+      auto c2 = oracle.Count(probe);
+      ASSERT_TRUE(c1.ok() && c2.ok());
+      ASSERT_EQ(*c1, *c2) << "round " << round;
+      auto s1 = sharded.Sum(probe);
+      auto s2 = oracle.Sum(probe);
+      ASSERT_TRUE(s1.ok() && s2.ok());
+      ASSERT_DOUBLE_EQ(*s1, *s2) << "round " << round;
+    }
+    // Projection: row order across shards is routing-dependent, compare
+    // as sorted multisets.
+    QueryRequest proj = Req("t", "k", key_pred);
+    proj.tails = {"a", "b"};
+    auto p1 = sharded.SelectProject(proj);
+    auto p2 = oracle.SelectProject(proj);
+    ASSERT_TRUE(p1.ok() && p2.ok());
+    ASSERT_EQ(p1->column_names, p2->column_names);
+    ASSERT_EQ(SortedRows(*p1), SortedRows(*p2)) << "round " << round;
+  }
+  // Shard stats stay consistent with the base: rows sum to the oracle's.
+  std::size_t rows_total = 0;
+  for (const auto& stats : sharded.Stats()) rows_total += stats.rows;
+  EXPECT_EQ(rows_total, keys.size());
+}
+
+TEST_F(ShardedDbTest, DifferentialAcrossShardCountsHash) {
+  ThreadPool pool(4);
+  for (std::size_t n : {1u, 2u, 4u, 8u}) {
+    RunDifferential(n, RoutingKind::kHash, 40'000 + n, &pool);
+  }
+}
+
+TEST_F(ShardedDbTest, DifferentialAcrossShardCountsRange) {
+  ThreadPool pool(4);
+  for (std::size_t n : {1u, 2u, 4u, 8u}) {
+    RunDifferential(n, RoutingKind::kRange, 50'000 + n, &pool);
+  }
+}
+
+TEST_F(ShardedDbTest, InlineScatterMatchesPooledScatter) {
+  // No pool: scatter degrades to an inline loop with identical answers.
+  RunDifferential(4, RoutingKind::kRange, 60'000, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// API surface contracts.
+// ---------------------------------------------------------------------------
+
+TEST_F(ShardedDbTest, SchemaChangesRequireEmptyTable) {
+  ShardedDatabaseOptions options;
+  options.num_shards = 2;
+  ShardedDatabase db(options);
+  ASSERT_TRUE(SetUpTable(&db, RoutingKind::kHash).ok());
+  ASSERT_TRUE(db.Insert("t", {1, PayloadA(1), PayloadB(1)}).ok());
+  EXPECT_TRUE(db.AddColumn("t", "late").IsInvalidArgument());
+  EXPECT_TRUE(db.CreateTable("t", SpecFor(RoutingKind::kHash, 2))
+                  .IsAlreadyExists());
+  EXPECT_TRUE(db.Insert("unknown", {1}).IsNotFound());
+  // Row too narrow to even hold the key column.
+  EXPECT_FALSE(db.InsertBatch("t", std::vector<std::int64_t>{1, 2}).ok());
+}
+
+TEST_F(ShardedDbTest, DeadlineExpiryPropagatesThroughTheScatter) {
+  ShardedDatabaseOptions options;
+  options.num_shards = 4;
+  ShardedDatabase db(options);
+  ASSERT_TRUE(SetUpTable(&db, RoutingKind::kHash).ok());
+  ASSERT_TRUE(db.InsertBatch("t", RowMajor(RandomKeys(500, 7))).ok());
+
+  QueryRequest req = Req("t", "k", Pred::Between(100, 900));
+  req.context = QueryContext::WithTimeout(std::chrono::hours(1));
+  ASSERT_TRUE(db.Count(req).ok());
+
+  // An already-expired deadline fails every leg; the scatter surfaces
+  // DeadlineExceeded, not a partial answer.
+  req.context =
+      QueryContext::WithDeadline(std::chrono::steady_clock::now() -
+                                 std::chrono::milliseconds(1));
+  auto expired = db.Count(req);
+  ASSERT_FALSE(expired.ok());
+  EXPECT_TRUE(expired.status().IsDeadlineExceeded())
+      << expired.status().ToString();
+
+  // A cancelled caller token is observed through the chained leg tokens.
+  auto token = std::make_shared<CancellationToken>();
+  token->Cancel();
+  QueryContext ctx;
+  ctx.SetToken(token);
+  req.context = ctx;
+  auto cancelled = db.Count(req);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_TRUE(cancelled.status().IsCancelled()) << cancelled.status().ToString();
+}
+
+TEST_F(ShardedDbTest, DistFailpointsAbortCleanly) {
+  ShardedDatabaseOptions options;
+  options.num_shards = 2;
+  ShardedDatabase db(options);
+  ASSERT_TRUE(SetUpTable(&db, RoutingKind::kRange).ok());
+  ASSERT_TRUE(db.InsertBatch("t", RowMajor(RandomKeys(400, 11))).ok());
+  const auto live = [&] {
+    auto c = db.Count(Req("t", "k", Pred::All()));
+    AIDX_CHECK_OK(c.status());
+    return *c;
+  };
+  const std::size_t before = live();
+
+  // A faulted route aborts the insert with no shard touched.
+  ASSERT_TRUE(Configure("dist.route=error(resource_exhausted)").ok());
+  EXPECT_TRUE(db.Insert("t", {1, PayloadA(1), PayloadB(1)}).IsResourceExhausted());
+  FailpointRegistry::Instance().DisarmAll();
+  EXPECT_EQ(live(), before);
+
+  // A faulted scatter leg fails the query; the store is unchanged and the
+  // same query answers after disarming.
+  ASSERT_TRUE(Configure("dist.scatter=error").ok());
+  EXPECT_FALSE(db.Count(Req("t", "k", Pred::All())).ok());
+  FailpointRegistry::Instance().DisarmAll();
+  EXPECT_EQ(live(), before);
+
+  // A faulted migration chunk aborts the rebalance before either shard
+  // mutates: answers and per-shard row counts are untouched.
+  const auto stats_before = db.Stats();
+  ASSERT_TRUE(Configure("dist.migrate_piece=error").ok());
+  EXPECT_FALSE(db.Rebalance("t", 0, 1, 0, kDomain / 2).ok());
+  FailpointRegistry::Instance().DisarmAll();
+  EXPECT_EQ(live(), before);
+  const auto stats_after = db.Stats();
+  for (std::size_t s = 0; s < stats_before.size(); ++s) {
+    EXPECT_EQ(stats_after[s].rows, stats_before[s].rows) << "shard " << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rebalance: correctness and carried index investment.
+// ---------------------------------------------------------------------------
+
+TEST_F(ShardedDbTest, RebalanceMovesARangeAndKeepsAnswersExact) {
+  ShardedDatabaseOptions options;
+  options.num_shards = 2;
+  ShardedDatabase db(options);
+  Database oracle;
+  ASSERT_TRUE(SetUpTable(&db, RoutingKind::kRange).ok());
+  ASSERT_TRUE(SetUpOracle(&oracle).ok());
+  const auto rows = RowMajor(RandomKeys(3000, 13));
+  ASSERT_TRUE(db.InsertBatch("t", rows).ok());
+  ASSERT_TRUE(oracle.InsertBatch("t", rows).ok());
+
+  const std::size_t src_rows_before = db.Stats()[0].rows;
+  // Move the bottom quarter of shard 0's half to shard 1.
+  auto report = db.Rebalance("t", 0, 1, 0, kDomain / 4);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->rows_moved, 0u);
+  const auto stats = db.Stats();
+  EXPECT_EQ(stats[0].rows, src_rows_before - report->rows_moved);
+
+  // Future inserts in the migrated range land on the target.
+  ASSERT_TRUE(db.Insert("t", {1, PayloadA(1), PayloadB(1)}).ok());
+  ASSERT_TRUE(oracle.Insert("t", {1, PayloadA(1), PayloadB(1)}).ok());
+  EXPECT_EQ(db.Stats()[1].rows, stats[1].rows + 1);
+
+  // Differential exactness after the migration, including the migrated
+  // range and the straddling boundary.
+  for (const auto& pred :
+       {Pred::All(), Pred::Between(0, kDomain / 4), Pred::Between(100, 600)}) {
+    auto c1 = db.Count(Req("t", "k", pred));
+    auto c2 = oracle.Count(Req("t", "k", pred));
+    ASSERT_TRUE(c1.ok() && c2.ok());
+    EXPECT_EQ(*c1, *c2);
+  }
+  QueryRequest proj = Req("t", "k", Pred::Between(0, kDomain / 2));
+  proj.tails = {"a", "b"};
+  auto p1 = db.SelectProject(proj);
+  auto p2 = oracle.SelectProject(proj);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(SortedRows(*p1), SortedRows(*p2));
+}
+
+TEST_F(ShardedDbTest, RebalanceCarriesIndexInvestment) {
+  ShardedDatabaseOptions options;
+  options.num_shards = 2;
+  ShardedDatabase db(options);
+  ASSERT_TRUE(SetUpTable(&db, RoutingKind::kRange).ok());
+  ASSERT_TRUE(db.InsertBatch("t", RowMajor(RandomKeys(4000, 17))).ok());
+
+  // Warm the source: these queries realize cuts at their bounds inside
+  // the soon-to-migrate range [0, 200).
+  const Pred warm1 = Pred::Between(40, 110);
+  const Pred warm2 = Pred::Between(60, 160);
+  ASSERT_TRUE(db.Count(Req("t", "k", warm1)).ok());
+  ASSERT_TRUE(db.Count(Req("t", "k", warm2)).ok());
+
+  auto report = db.Rebalance("t", 0, 1, 0, 200);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->rows_moved, 0u);
+  EXPECT_GT(report->cuts_carried, 0u) << "warmed cuts must be exported";
+  EXPECT_GT(report->bundles, 0u);
+
+  // The carried cuts were re-realized during the rebalance itself; the
+  // same bounded queries on the migrated rows crack NOTHING new on the
+  // target. (Counters cover crack-in-two/three and stochastic cracks.)
+  const auto work = [&](const DatabaseStats& s) {
+    return s.crack.num_crack_in_two + s.crack.num_crack_in_three +
+           s.crack.num_stochastic_cracks;
+  };
+  const DatabaseStats target_before = db.shard(1).Stats();
+  auto c1 = db.Count(Req("t", "k", warm1));
+  auto c2 = db.Count(Req("t", "k", warm2));
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  const DatabaseStats target_after = db.shard(1).Stats();
+  EXPECT_EQ(work(target_after), work(target_before))
+      << "queries at carried cut values must not crack the target again";
+  // The carried investment is real piece structure, not just counters.
+  EXPECT_GT(target_after.cracked_pieces, 1u);
+}
+
+TEST_F(ShardedDbTest, ReadsOverlappingARebalanceStayExact) {
+  ShardedDatabaseOptions options;
+  options.num_shards = 4;
+  ThreadPool pool(4);
+  options.scatter_pool = &pool;
+  ShardedDatabase db(options);
+  ASSERT_TRUE(SetUpTable(&db, RoutingKind::kRange).ok());
+  const auto keys = RandomKeys(4000, 19);
+  ASSERT_TRUE(db.InsertBatch("t", RowMajor(keys)).ok());
+  const std::size_t expected = keys.size();
+  const std::int64_t expected_sum = [&] {
+    std::int64_t sum = 0;
+    for (auto k : keys) sum += k;
+    return sum;
+  }();
+
+  // Readers hammer scatter queries while the main thread migrates ranges
+  // back and forth. Every read must see a pre- or post-migration
+  // topology, never a torn one — i.e. always the full row multiset.
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto count = db.Count(Req("t", "k", Pred::All()));
+        auto sum = db.Sum(Req("t", "k", Pred::All()));
+        if (!count.ok() || !sum.ok() || *count != expected ||
+            *sum != static_cast<double>(expected_sum)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Migrations can finish before the OS even schedules the reader
+  // threads; hold the first one until reads are actually in flight so
+  // the overlap this test exists for really happens.
+  while (reads.load(std::memory_order_relaxed) == 0) std::this_thread::yield();
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t from = i % 2 == 0 ? 0 : 3;
+    const std::size_t to = i % 2 == 0 ? 3 : 0;
+    auto report = db.Rebalance("t", from, to, 0, kDomain / 4);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(mismatches.load(), 0u) << "after " << reads.load() << " reads";
+  EXPECT_GT(reads.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized schedule: the dist chaos arm (AIDX_FAULT_SCHEDULE=dist arms
+// dist.route / dist.scatter / dist.migrate_piece probabilistically; the
+// other schedules exercise the engine under the sharded facade).
+// ---------------------------------------------------------------------------
+
+std::string ScheduleSpec(const std::string& name) {
+  if (name == "quiet") return "";
+  if (name == "delays") {
+    return "crack.piece=delay(20);sideways.ripple=delay(50);"
+           "storage.commit_row=delay(20);organizer.step=delay(10)";
+  }
+  if (name == "errors") {
+    return "parallel.bg_merge_step=prob(0.2);parallel.bg_submit=prob(0.1);"
+           "crack.piece=prob(0.05)";
+  }
+  if (name == "dist") {
+    return "dist.route=prob(0.03);dist.scatter=prob(0.05);"
+           "dist.migrate_piece=prob(0.1);crack.piece=delay(10)";
+  }
+  // mixed (default)
+  return "crack.piece=prob(0.02);parallel.bg_merge_step=prob(0.05);"
+         "sideways.ripple=delay(30);storage.commit_row=delay(10)";
+}
+
+TEST_F(ShardedDbTest, RandomizedScheduleKeepsDifferentialExactness) {
+  std::uint64_t seed = 20260807;
+  if (const char* env = std::getenv("AIDX_FAULT_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  std::string schedule = "dist";
+  if (const char* env = std::getenv("AIDX_FAULT_SCHEDULE")) schedule = env;
+  std::cout << "[sharded-faults] schedule=" << schedule << " seed=" << seed
+            << std::endl;
+  RecordProperty("fault_schedule", schedule);
+  RecordProperty("fault_seed", std::to_string(seed));
+  const std::string spec = ScheduleSpec(schedule);
+  if (!spec.empty()) {
+    ASSERT_TRUE(Configure(spec).ok()) << spec;
+  }
+
+  ThreadPool pool(2);
+  ShardedDatabaseOptions options;
+  options.num_shards = 4;
+  options.scatter_pool = &pool;
+  ShardedDatabase db(options);
+  ASSERT_TRUE(SetUpTable(&db, RoutingKind::kRange).ok());
+  // The oracle is the key multiset; every comparison retries through
+  // transient injected faults (all dist faults are validate-phase clean
+  // aborts, so a failed op means "nothing happened").
+  std::vector<std::int64_t> keys;
+
+  const auto count_with_retries = [&](const Pred& pred) -> std::size_t {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      auto c = db.Count(Req("t", "k", pred));
+      if (c.ok()) return *c;
+    }
+    ADD_FAILURE() << "query kept failing under schedule";
+    return 0;
+  };
+
+  Rng rng(seed);
+  for (int burst = 0; burst < 12; ++burst) {
+    for (int op = 0; op < 30; ++op) {
+      const std::uint64_t dice = rng.NextBounded(10);
+      if (dice < 6) {
+        // Single-row DML only: cross-shard batches are atomic per shard,
+        // not per batch (sharded_database.h), so the oracle tracks the
+        // row-atomic surface.
+        const auto k = static_cast<std::int64_t>(rng.NextBounded(kDomain));
+        if (db.Insert("t", {k, PayloadA(k), PayloadB(k)}).ok()) {
+          keys.push_back(k);
+        }  // else: clean abort, nothing landed
+      } else if (dice < 8 && !keys.empty()) {
+        const auto k = keys[rng.NextBounded(keys.size())];
+        auto deleted = db.Delete("t", "k", k);
+        if (deleted.ok()) {
+          ASSERT_TRUE(*deleted);
+          keys.erase(std::find(keys.begin(), keys.end(), k));
+        }
+      } else {
+        const auto lo = static_cast<std::int64_t>(rng.NextBounded(kDomain));
+        const Pred p = Pred::Between(lo, lo + 120);
+        auto probe = db.Count(Req("t", "k", p));
+        if (probe.ok()) {
+          std::size_t expect = 0;
+          for (auto key : keys) expect += p.Matches(key) ? 1 : 0;
+          ASSERT_EQ(*probe, expect) << "burst " << burst;
+        }
+      }
+    }
+    // A mid-schedule rebalance either completes or aborts cleanly; either
+    // way the row multiset is unchanged.
+    if (burst % 3 == 1) {
+      const auto lo = static_cast<std::int64_t>(rng.NextBounded(kDomain / 2));
+      (void)db.Rebalance("t", burst % 4, (burst + 1) % 4, lo, lo + 100);
+    }
+    // Post-burst invariants.
+    ASSERT_EQ(count_with_retries(Pred::All()), keys.size()) << "burst " << burst;
+    const auto lo = static_cast<std::int64_t>(rng.NextBounded(kDomain));
+    const Pred p = Pred::Between(lo, lo + 200);
+    std::size_t expect = 0;
+    for (auto key : keys) expect += p.Matches(key) ? 1 : 0;
+    ASSERT_EQ(count_with_retries(p), expect) << "burst " << burst;
+  }
+  FailpointRegistry::Instance().DisarmAll();
+}
+
+}  // namespace
+}  // namespace aidx

@@ -8,8 +8,9 @@
 //    rebuild) and stay equal to a from-scratch Database over the same
 //    final table;
 //  - the partial-failure contract must hold: a column write failing
-//    mid-row (injected via SetDmlFaultHook) leaves the table, its cached
-//    paths, and its sideways maps observably unchanged — no torn rows.
+//    mid-row (injected via the engine.dml_validate failpoint) leaves the
+//    table, its cached paths, and its sideways maps observably unchanged —
+//    no torn rows.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "exec/engine.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -264,14 +266,22 @@ TEST(TableDmlContractTest, FailedDmlLeavesNoTornRows) {
   ASSERT_TRUE(state.ok());
   const std::size_t dml_before = (*state)->stats().dml_inserts;
 
-  db.SetDmlFaultHook([](std::string_view, std::string_view column) {
+  // Fault the validate phase for column "b" only, through the engine's
+  // own failpoint (the scope is "<table>\x1f<column>").
+  FailpointPolicy fault;
+  fault.mode = FailpointMode::kCallback;
+  fault.handler = [](std::string_view scope) {
+    const std::size_t sep = scope.find(kFailpointScopeSep);
+    const std::string_view column =
+        sep == std::string_view::npos ? scope : scope.substr(sep + 1);
     return column == std::string_view("b") ? Status::Internal("injected fault")
                                            : Status::OK();
-  });
+  };
+  failpoints::engine_dml_validate.Arm(std::move(fault));
   EXPECT_FALSE(db.Insert("t", {1, 2, 3}).ok());
   EXPECT_FALSE(db.InsertBatch("t", std::vector<std::int64_t>{1, 2, 3}).ok());
   EXPECT_FALSE(db.Delete("t", "a", oracle.front()[0]).ok());
-  db.SetDmlFaultHook(nullptr);
+  failpoints::engine_dml_validate.Disarm();
 
   // No torn rows: row count, per-column sums, sideways log, and query
   // results are exactly what they were before the faulting calls.
@@ -287,7 +297,7 @@ TEST(TableDmlContractTest, FailedDmlLeavesNoTornRows) {
   auto r = db.SelectProject("t", "a", warm, {"b", "c"});
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(SortedPairs(*r), OracleProject(oracle, warm));
-  // With the hook cleared the same row applies cleanly.
+  // With the failpoint disarmed the same row applies cleanly.
   EXPECT_TRUE(db.Insert("t", {1, 2, 3}).ok());
   count = db.Count("t", "a", Pred::All(), StrategyConfig::Crack());
   ASSERT_TRUE(count.ok());
